@@ -1,0 +1,39 @@
+"""Ablation: issue-slot restriction.
+
+The paper's processor places "no limitation on the combination of
+instructions that can be issued in the same cycle" except one branch.
+Restricting FP slots (a realistic constraint for 1992 hardware) should
+slow FP-heavy DOALL loops and barely touch integer-dominated ones."""
+
+from conftest import emit
+from repro.experiments.sweep import run_config
+from repro.ir.instructions import Kind
+from repro.machine import MachineConfig
+from repro.pipeline import Level
+from repro.workloads import get_workload
+
+FP_LIMITED = MachineConfig(
+    issue_width=8,
+    slot_limits={Kind.FP_ALU: 1, Kind.FP_MUL: 1, Kind.FP_DIV: 1},
+)
+OPEN = MachineConfig(issue_width=8)
+
+
+def test_slot_restriction(benchmark, figures):
+    rows = ["Ablation: FP issue-slot restriction (Lev3, issue-8)",
+            "=" * 52,
+            f"{'loop':<12}{'open':>8}{'fp-limited':>12}{'ratio':>8}"]
+    ratios = {}
+    for name in ("NAS-1", "SRS-5", "add", "tomcatv-1"):
+        w = get_workload(name)
+        open_c = run_config(w, Level.LEV3, OPEN).cycles
+        lim_c = run_config(w, Level.LEV3, FP_LIMITED).cycles
+        ratios[name] = lim_c / open_c
+        rows.append(f"{name:<12}{open_c:>8}{lim_c:>12}{ratios[name]:>8.2f}")
+        assert lim_c >= open_c
+    # FP-dense bodies suffer visibly
+    assert max(ratios.values()) > 1.2
+
+    w = get_workload("NAS-1")
+    benchmark(lambda: run_config(w, Level.LEV3, FP_LIMITED).cycles)
+    emit("ablation_slots", "\n".join(rows))

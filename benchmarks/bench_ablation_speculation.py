@@ -1,0 +1,37 @@
+"""Ablation: speculation policy.
+
+The paper's processor supports non-excepting loads and FP instructions so
+the compiler can hoist them above branches.  Turning speculation off
+should hurt loops whose superblocks have side exits (conds loops), since
+their loads can no longer move above the guards."""
+
+from conftest import emit
+from repro.experiments.sweep import run_config
+from repro.machine import MachineConfig
+from repro.pipeline import Level
+from repro.workloads import get_workload
+
+CONDS = ["maxval", "merge", "MTS-1", "MTS-2", "CSS-1"]
+
+
+def test_speculation_ablation(benchmark, figures):
+    spec = MachineConfig(issue_width=8)
+    nospec = MachineConfig(issue_width=8, speculative_loads=False, speculative_fp=False)
+
+    rows = ["Ablation: speculation (issue-8, Lev3 cycles)",
+            "=" * 46,
+            f"{'loop':<10}{'speculative':>12}{'none':>10}{'ratio':>8}"]
+    hurt = 0
+    for name in CONDS:
+        w = get_workload(name)
+        c_spec = run_config(w, Level.LEV3, spec).cycles
+        c_none = run_config(w, Level.LEV3, nospec).cycles
+        rows.append(f"{name:<10}{c_spec:>12}{c_none:>10}{c_none / c_spec:>8.2f}")
+        if c_none > c_spec:
+            hurt += 1
+        assert c_none >= c_spec  # removing capability can never help
+    assert hurt >= 3  # most conds loops rely on speculation
+
+    w = get_workload("maxval")
+    benchmark(lambda: run_config(w, Level.LEV3, nospec).cycles)
+    emit("ablation_speculation", "\n".join(rows))

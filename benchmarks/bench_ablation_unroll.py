@@ -1,0 +1,37 @@
+"""Ablation: unroll factor (the paper caps at 8x or a body-size limit).
+
+Sweeping 2/4/8/16 on a DOALL loop shows diminishing returns past the
+issue width, and code growth without benefit beyond it."""
+
+from conftest import emit
+from repro.harness import compile_kernel, run_compiled_kernel
+from repro.machine import issue8
+from repro.pipeline import Level
+from repro.workloads import get_workload
+
+
+def run_at(w, factor):
+    arrays, scalars = w.make_inputs(0)
+    ck = compile_kernel(w.build(), Level.LEV2, issue8(), unroll_factor=factor)
+    out = run_compiled_kernel(
+        ck, arrays={k: v.copy() for k, v in arrays.items()}, scalars=scalars
+    )
+    return out.cycles, len(ck.sb.body.instrs)
+
+
+def test_unroll_ablation(benchmark, figures):
+    w = get_workload("add")
+    rows = ["Ablation: unroll factor ('add', Lev2, issue-8)",
+            "=" * 47,
+            f"{'factor':<8}{'cycles':>8}{'body instrs':>13}"]
+    results = {}
+    for factor in (1, 2, 4, 8, 16):
+        cycles, body = run_at(w, factor)
+        results[factor] = cycles
+        rows.append(f"{factor:<8}{cycles:>8}{body:>13}")
+    assert results[8] < results[2] < results[1]
+    # past the issue width the gains flatten (within 25%)
+    assert results[16] > results[8] * 0.75
+
+    benchmark(lambda: run_at(w, 8)[0])
+    emit("ablation_unroll", "\n".join(rows))

@@ -1,0 +1,21 @@
+"""Figure 9: speedup distribution on an issue-4 processor.
+
+Shape: Lev2 gives substantial speedups; Lev3/Lev4 add measurable further
+gains (the paper reports 3.73 -> 4.35 on average)."""
+
+from conftest import emit
+from repro.experiments.histograms import speedup_distribution
+from repro.experiments.sweep import run_config
+from repro.machine import issue4
+from repro.pipeline import Level
+from repro.workloads import get_workload
+
+
+def test_fig09(benchmark, sweep_data, figures):
+    dist = speedup_distribution(sweep_data, 4)
+    assert dist.average("Lev2") > dist.average("Conv") * 1.5
+    assert dist.average("Lev4") > dist.average("Lev2")
+
+    w = get_workload("NAS-2")
+    benchmark(lambda: run_config(w, Level.LEV3, issue4()).cycles)
+    emit("fig09_speedup_issue4", figures["fig09_speedup_issue4"])

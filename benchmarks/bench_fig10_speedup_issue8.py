@@ -1,0 +1,28 @@
+"""Figure 10: speedup distribution on an issue-8 processor.
+
+Shape: the need for higher transformation levels grows with issue rate —
+the Lev3/Lev4 gains over Lev2 are larger at issue-8 than at issue-2, and a
+substantial group of loops reaches the top bins only with Lev4."""
+
+from conftest import emit
+from repro.experiments.histograms import speedup_distribution
+from repro.experiments.sweep import run_config
+from repro.machine import issue8
+from repro.pipeline import Level
+from repro.workloads import get_workload
+
+
+def test_fig10(benchmark, sweep_data, figures):
+    d8 = speedup_distribution(sweep_data, 8)
+    d2 = speedup_distribution(sweep_data, 2)
+    gain8 = d8.average("Lev4") - d8.average("Lev2")
+    gain2 = d2.average("Lev4") - d2.average("Lev2")
+    assert gain8 > gain2  # wider issue demands more transformation
+    assert d8.average("Lev4") > d8.average("Lev3") > d8.average("Lev2")
+    # loops in the top (6.00+) bins appear at Lev4
+    top = sum(d8.series["Lev4"][-3:])
+    assert top >= 8
+
+    w = get_workload("dotprod")
+    benchmark(lambda: run_config(w, Level.LEV4, issue8()).cycles)
+    emit("fig10_speedup_issue8", figures["fig10_speedup_issue8"])

@@ -1,0 +1,35 @@
+"""Figure 11: register usage distribution at issue-8.
+
+Shape: the largest increase comes from register renaming (Lev1 -> Lev2);
+Lev3 and Lev4 add only moderate further pressure; nearly all loops stay
+under 128 combined registers."""
+
+from conftest import emit
+from repro.experiments.histograms import register_distribution
+from repro.harness import compile_kernel
+from repro.machine import issue8
+from repro.pipeline import Level
+from repro.regalloc import measure_register_usage
+from repro.workloads import get_workload
+
+
+def test_fig11(benchmark, sweep_data, figures):
+    dist = register_distribution(sweep_data, 8)
+    conv = dist.average("Conv")
+    lev1 = dist.average("Lev1")
+    lev2 = dist.average("Lev2")
+    lev4 = dist.average("Lev4")
+    assert lev2 - lev1 > (lev1 - conv) * 2  # renaming is the big jump
+    assert lev4 >= lev2
+    under128 = sum(dist.series["Lev4"][:-1])
+    assert under128 >= 37  # paper: 37/40
+
+    w = get_workload("SRS-5")
+
+    def measure():
+        ck = compile_kernel(w.build(), Level.LEV4, issue8())
+        return measure_register_usage(ck.func, ck.lowered.live_out_exit).total
+
+    total = benchmark(measure)
+    assert total > 0
+    emit("fig11_regusage_issue8", figures["fig11_regusage_issue8"])

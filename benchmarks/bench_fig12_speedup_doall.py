@@ -1,0 +1,24 @@
+"""Figure 12: speedup distribution of DOALL loops only (issue-8).
+
+Shape: unrolling + renaming expose most of the ILP of DOALL loops;
+transformations beyond Lev2 are comparatively unprofitable for them."""
+
+from conftest import emit
+from repro.experiments.histograms import doall_filter, speedup_distribution
+from repro.experiments.sweep import run_config
+from repro.machine import issue8
+from repro.pipeline import Level
+from repro.workloads import get_workload
+
+
+def test_fig12(benchmark, sweep_data, figures):
+    dist = speedup_distribution(sweep_data, 8, doall_filter(True))
+    lev2 = dist.average("Lev2")
+    lev4 = dist.average("Lev4")
+    assert lev2 > dist.average("Conv") * 2.5  # big Lev2 jump
+    # Lev4 adds much less over Lev2 than Lev2 added over Lev1
+    assert (lev4 - lev2) < (lev2 - dist.average("Lev1")) * 0.6
+
+    w = get_workload("add")
+    benchmark(lambda: run_config(w, Level.LEV2, issue8()).cycles)
+    emit("fig12_speedup_doall", figures["fig12_speedup_doall"])

@@ -1,0 +1,29 @@
+"""Figure 15: register usage of non-DOALL loops (issue-8).
+
+Shape: register pressure is lower than for DOALL loops (less overlap
+between unrolled bodies), and nearly all stay under 96-128 registers."""
+
+from conftest import emit
+from repro.experiments.histograms import doall_filter, register_distribution
+from repro.harness import compile_kernel
+from repro.machine import issue8
+from repro.pipeline import Level
+from repro.regalloc import measure_register_usage
+from repro.workloads import get_workload
+
+
+def test_fig15(benchmark, sweep_data, figures):
+    non = register_distribution(sweep_data, 8, doall_filter(False))
+    doall = register_distribution(sweep_data, 8, doall_filter(True))
+    assert non.average("Lev4") <= doall.average("Lev4") * 1.4
+    under128 = sum(non.series["Lev4"][:-1])
+    assert under128 >= len(non.values["Lev4"]) - 2
+
+    w = get_workload("NAS-5")
+
+    def measure():
+        ck = compile_kernel(w.build(), Level.LEV4, issue8())
+        return measure_register_usage(ck.func, ck.lowered.live_out_exit).total
+
+    benchmark(measure)
+    emit("fig15_regusage_nondoall", figures["fig15_regusage_nondoall"])

@@ -1,0 +1,30 @@
+"""The scalar claims of Sections 3.2 and 4: average speedups per level and
+width, the DOALL / non-DOALL split, register growth, and the <128-register
+count — printed side by side with the paper's numbers."""
+
+from conftest import emit
+from repro.experiments.sweep import run_config
+from repro.experiments.tables import compute_headline_claims
+from repro.machine import issue8
+from repro.pipeline import Level
+from repro.workloads import get_workload
+
+
+def test_headline_claims(benchmark, sweep_data, figures):
+    claims = compute_headline_claims(sweep_data)
+
+    # ordering claims that must hold for the reproduction to be credible
+    assert claims.avg_speedup[(8, "Lev4")] > claims.avg_speedup[(8, "Lev2")]
+    assert claims.avg_speedup[(4, "Lev4")] > claims.avg_speedup[(4, "Lev2")]
+    assert claims.avg_speedup[(8, "Lev2")] > claims.avg_speedup[(4, "Lev2")]
+    assert claims.avg_speedup_split[(8, "Lev2", True)] > claims.avg_speedup_split[(8, "Lev2", False)]
+    assert claims.avg_speedup_split[(8, "Lev4", True)] > claims.avg_speedup_split[(8, "Lev4", False)]
+    # both classes improve with the advanced transformations
+    assert claims.avg_speedup_split[(8, "Lev4", False)] > claims.avg_speedup_split[(8, "Lev2", False)]
+    # register growth is substantial but bounded
+    assert 1.5 < claims.reg_growth < 8.0
+    assert claims.under_128 >= 37
+
+    w = get_workload("LWS-2")
+    benchmark(lambda: run_config(w, Level.LEV4, issue8()).cycles)
+    emit("headline_claims", figures["headline_claims"])

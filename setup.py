@@ -1,0 +1,7 @@
+"""Shim for environments without the `wheel` package (offline editable
+installs fall back to the legacy path: `pip install -e . --no-build-isolation
+--no-use-pep517`). Metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

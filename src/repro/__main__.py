@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro <command>`` (see repro.cli)."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,158 @@
+"""Command-line interface.
+
+    python -m repro list                         # the 40 workloads
+    python -m repro show dotprod                 # FORTRAN-style source + metadata
+    python -m repro compile dotprod --level 4    # IR at each pipeline stage
+    python -m repro run dotprod --level 4 --width 8 [--all-levels]
+    python -m repro sweep [--force]              # full grid -> results/
+    python -m repro mii dotprod                  # software-pipelining bounds
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .experiments.sweep import run_config
+from .frontend.lower import lower_kernel
+from .frontend.pretty import kernel_str
+from .harness import compile_kernel, run_compiled_kernel
+from .ir import format_block, format_function
+from .machine import MachineConfig
+from .opt.driver import run_conv
+from .pipeline import Level
+from .regalloc import measure_register_usage
+from .schedule.pipelining import compute_bounds
+from .workloads import all_workloads, check_run, get_workload
+
+
+def cmd_list(args) -> int:
+    print(f"{'name':<14}{'suite':<9}{'size':>5}{'iters':>7}{'nest':>5}  "
+          f"{'type':<10}{'conds'}")
+    for w in all_workloads():
+        print(f"{w.name:<14}{w.suite:<9}{w.size_lines:>5}{w.paper_iters:>7}"
+              f"{w.nest:>5}  {w.loop_type:<10}{'yes' if w.conds else 'no'}")
+    return 0
+
+
+def cmd_show(args) -> int:
+    w = get_workload(args.workload)
+    print(f"! {w.name} [{w.suite}]  Table 2: size={w.size_lines} "
+          f"iters={w.paper_iters} nest={w.nest} type={w.loop_type} "
+          f"conds={'yes' if w.conds else 'no'}")
+    if w.notes:
+        print(f"! {w.notes}")
+    print(kernel_str(w.build()))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    w = get_workload(args.workload)
+    level = Level(args.level)
+    machine = MachineConfig(issue_width=args.width)
+
+    lk = lower_kernel(w.build())
+    if args.stage in ("naive", "all"):
+        print("=== naive lowering ===")
+        print(format_function(lk.func))
+    run_conv(lk.func, lk.counted, lk.live_out_exit)
+    if args.stage in ("conv", "all"):
+        print("\n=== after Conv ===")
+        print(format_function(lk.func))
+    from .pipeline import apply_ilp_transforms, schedule_function
+
+    sb, rep = apply_ilp_transforms(
+        lk.func, lk.counted[lk.inner_header], level, machine, lk.live_out_exit
+    )
+    schedule_function(lk.func, machine, lk.live_out_exit, sb=sb,
+                      doall=lk.inner_kind == "doall")
+    print(f"\n=== {level.label} on issue-{args.width or 'inf'}: "
+          f"unroll x{rep.unroll_factor}, {rep.renamed} renamed, "
+          f"{rep.inductions} ind, {rep.accumulators} acc, "
+          f"{rep.searches} search, {rep.combined} combined, "
+          f"{rep.trees} trees ===")
+    print(format_block(sb.body))
+    usage = measure_register_usage(lk.func, lk.live_out_exit)
+    print(f"\nregisters: {usage.int_regs} int + {usage.fp_regs} fp = {usage.total}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    w = get_workload(args.workload)
+    machine = MachineConfig(issue_width=args.width)
+    levels = list(Level) if args.all_levels else [Level(args.level)]
+    base = run_config(w, Level.CONV, MachineConfig(issue_width=1)).cycles
+    print(f"{w.name} (type={w.loop_type}); baseline issue-1/Conv = {base} cycles")
+    for level in levels:
+        r = run_config(w, level, machine)
+        print(f"  {level.label}@issue-{args.width}: {r.cycles} cycles, "
+              f"{r.instructions} instrs, speedup {base / r.cycles:.2f}, "
+              f"{r.total_regs} regs  [checked]")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from .experiments.run_all import main as run_all_main
+
+    return run_all_main(["--force"] if args.force else [])
+
+
+def cmd_mii(args) -> int:
+    w = get_workload(args.workload)
+    machine = MachineConfig(issue_width=args.width)
+    print(f"{w.name}: software-pipelining bounds (issue-{args.width})")
+    for level in Level:
+        ck = compile_kernel(w.build(), level, machine)
+        b = compute_bounds(
+            ck.sb.body.instrs, machine,
+            iterations=ck.ilp_report.unroll_factor,
+            prologue=ck.sb.preheader.instrs,
+            doall=w.loop_type == "doall",
+        )
+        achieved = ck.inner_makespan / b.iterations
+        print(f"  {level.label}: ResMII={b.res_mii} RecMII={b.rec_mii} "
+              f"MII/iter={b.mii_per_iteration:.2f} achieved/iter={achieved:.2f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    sub.add_parser("list", help="list the 40 workloads")
+
+    p = sub.add_parser("show", help="print a workload's source + metadata")
+    p.add_argument("workload")
+
+    p = sub.add_parser("compile", help="print IR through the pipeline")
+    p.add_argument("workload")
+    p.add_argument("--level", type=int, default=4, choices=range(5))
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--stage", choices=("naive", "conv", "final", "all"),
+                   default="final")
+
+    p = sub.add_parser("run", help="compile, simulate, and check a workload")
+    p.add_argument("workload")
+    p.add_argument("--level", type=int, default=4, choices=range(5))
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--all-levels", action="store_true")
+
+    p = sub.add_parser("sweep", help="run the full evaluation grid")
+    p.add_argument("--force", action="store_true")
+
+    p = sub.add_parser("mii", help="software-pipelining bounds per level")
+    p.add_argument("workload")
+    p.add_argument("--width", type=int, default=8)
+
+    args = ap.parse_args(argv)
+    return {
+        "list": cmd_list, "show": cmd_show, "compile": cmd_compile,
+        "run": cmd_run, "sweep": cmd_sweep, "mii": cmd_mii,
+    }[args.cmd](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

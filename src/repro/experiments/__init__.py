@@ -1,0 +1,36 @@
+"""repro.experiments — the evaluation harness regenerating the paper's
+tables and figures."""
+
+from .sweep import (
+    ConfigResult,
+    SweepData,
+    WIDTHS,
+    load_sweep,
+    run_config,
+    run_sweep,
+    save_sweep,
+    sweep_cached,
+)
+from .histograms import (
+    Distribution,
+    REGISTER_BINS,
+    SPEEDUP_BINS,
+    bin_counts,
+    doall_filter,
+    register_distribution,
+    speedup_distribution,
+)
+from .tables import (
+    HeadlineClaims,
+    compute_headline_claims,
+    render_table1,
+    render_table2,
+)
+
+__all__ = [
+    "ConfigResult", "SweepData", "WIDTHS",
+    "load_sweep", "run_config", "run_sweep", "save_sweep", "sweep_cached",
+    "Distribution", "REGISTER_BINS", "SPEEDUP_BINS",
+    "bin_counts", "doall_filter", "register_distribution", "speedup_distribution",
+    "HeadlineClaims", "compute_headline_claims", "render_table1", "render_table2",
+]

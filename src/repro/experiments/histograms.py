@@ -1,0 +1,140 @@
+"""Histogram builders using the paper's exact bin edges (Figures 8-15)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pipeline import Level
+from .sweep import SweepData
+
+#: Figure 8 (issue-2) speedup bins
+SPEEDUP_BINS_ISSUE2 = [
+    ("0.00-1.24", 0.0, 1.25), ("1.25-1.49", 1.25, 1.5),
+    ("1.50-1.74", 1.5, 1.75), ("1.75-1.99", 1.75, 2.0),
+    ("2.00-2.49", 2.0, 2.5), ("2.50-2.99", 2.5, 3.0),
+    ("3.00+", 3.0, float("inf")),
+]
+
+#: Figure 9 (issue-4) speedup bins
+SPEEDUP_BINS_ISSUE4 = [
+    ("0.00-1.49", 0.0, 1.5), ("1.50-1.99", 1.5, 2.0),
+    ("2.00-2.49", 2.0, 2.5), ("2.50-2.99", 2.5, 3.0),
+    ("3.00-3.49", 3.0, 3.5), ("3.50-3.99", 3.5, 4.0),
+    ("4.00-4.99", 4.0, 5.0), ("5.00-5.99", 5.0, 6.0),
+    ("6.00+", 6.0, float("inf")),
+]
+
+#: Figures 10/12/14 (issue-8) speedup bins
+SPEEDUP_BINS_ISSUE8 = [
+    ("0.00-1.99", 0.0, 2.0), ("2.00-2.49", 2.0, 2.5),
+    ("2.50-2.99", 2.5, 3.0), ("3.00-3.99", 3.0, 4.0),
+    ("4.00-4.99", 4.0, 5.0), ("5.00-5.99", 5.0, 6.0),
+    ("6.00-6.99", 6.0, 7.0), ("7.00-7.99", 7.0, 8.0),
+    ("8.00+", 8.0, float("inf")),
+]
+
+#: Figures 11/13/15 register usage bins
+REGISTER_BINS = [
+    ("0-15", 0, 16), ("16-31", 16, 32), ("32-47", 32, 48),
+    ("48-63", 48, 64), ("64-95", 64, 96), ("96-127", 96, 128),
+    ("128+", 128, float("inf")),
+]
+
+SPEEDUP_BINS = {2: SPEEDUP_BINS_ISSUE2, 4: SPEEDUP_BINS_ISSUE4, 8: SPEEDUP_BINS_ISSUE8}
+
+
+def bin_counts(values: list[float], bins) -> list[int]:
+    counts = [0] * len(bins)
+    for v in values:
+        for i, (_, lo, hi) in enumerate(bins):
+            if lo <= v < hi:
+                counts[i] += 1
+                break
+    return counts
+
+
+@dataclass
+class Distribution:
+    """One figure: per-level histogram over the paper's bins."""
+
+    title: str
+    bins: list
+    #: level label -> counts per bin
+    series: dict[str, list[int]]
+    #: level label -> raw values (for averages / tests)
+    values: dict[str, list[float]]
+
+    def average(self, level_label: str) -> float:
+        vals = self.values[level_label]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def render(self) -> str:
+        labels = [b[0] for b in self.bins]
+        width = max(len(x) for x in labels + ["range"]) + 2
+        head = f"{'range':<{width}}" + "".join(f"{lv:>6}" for lv in self.series)
+        rows = [self.title, "=" * len(self.title), head, "-" * len(head)]
+        for i, lab in enumerate(labels):
+            rows.append(
+                f"{lab:<{width}}" + "".join(f"{c[i]:>6}" for c in self.series.values())
+            )
+        rows.append("-" * len(head))
+        rows.append(
+            f"{'average':<{width}}"
+            + "".join(f"{self.average(lv):>6.2f}" for lv in self.series)
+        )
+        return "\n".join(rows)
+
+
+def speedup_distribution(
+    data: SweepData,
+    width: int,
+    workload_filter=None,
+    title: str | None = None,
+) -> Distribution:
+    bins = SPEEDUP_BINS[width]
+    series: dict[str, list[int]] = {}
+    values: dict[str, list[float]] = {}
+    names = [
+        n for n in data.workload_names()
+        if workload_filter is None or workload_filter(n)
+    ]
+    for level in Level:
+        vals = [data.speedup(n, level, width) for n in names]
+        values[level.label] = vals
+        series[level.label] = bin_counts(vals, bins)
+    return Distribution(
+        title or f"Speedup distribution, issue-{width} (n={len(names)} loops)",
+        bins, series, values,
+    )
+
+
+def register_distribution(
+    data: SweepData,
+    width: int = 8,
+    workload_filter=None,
+    title: str | None = None,
+) -> Distribution:
+    series: dict[str, list[int]] = {}
+    values: dict[str, list[float]] = {}
+    names = [
+        n for n in data.workload_names()
+        if workload_filter is None or workload_filter(n)
+    ]
+    for level in Level:
+        vals = [float(data.get(n, level, width).total_regs) for n in names]
+        values[level.label] = vals
+        series[level.label] = bin_counts(vals, REGISTER_BINS)
+    return Distribution(
+        title or f"Register usage distribution, issue-{width} (n={len(names)} loops)",
+        REGISTER_BINS, series, values,
+    )
+
+
+def doall_filter(doall: bool):
+    """Filter by DOALL / non-DOALL classification (Figures 12-15)."""
+    from ..workloads import get_workload
+
+    def f(name: str) -> bool:
+        return (get_workload(name).loop_type == "doall") == doall
+
+    return f

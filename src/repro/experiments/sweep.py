@@ -1,0 +1,162 @@
+"""The evaluation grid: 40 loop nests x 5 levels x issue rates 1/2/4/8.
+
+Replicates the paper's methodology (Section 3.1): each configuration is
+compiled through the full pipeline and measured with execution-driven
+simulation; speedups are relative to the issue-1 processor with
+conventional (Conv) optimization; register usage is the colored
+int+fp total of the compiled loop nest.
+
+Results are cached as JSON so the figure benchmarks can re-render without
+recomputation (delete ``results/sweep.json`` or pass ``force=True`` to
+refresh).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..harness import compile_kernel, run_compiled_kernel
+from ..machine import MachineConfig
+from ..pipeline import Level
+from ..regalloc import measure_register_usage
+from ..workloads import Workload, all_workloads, check_run
+
+WIDTHS = (1, 2, 4, 8)
+CACHE_VERSION = 3
+
+
+@dataclass
+class ConfigResult:
+    workload: str
+    level: int                # Level value
+    width: int
+    cycles: int
+    instructions: int
+    inner_makespan: int
+    int_regs: int
+    fp_regs: int
+    checked: bool
+
+    @property
+    def total_regs(self) -> int:
+        return self.int_regs + self.fp_regs
+
+
+@dataclass
+class SweepData:
+    """Full grid of results, with speedup helpers."""
+
+    results: dict[tuple[str, int, int], ConfigResult] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+    def get(self, name: str, level: Level, width: int) -> ConfigResult:
+        return self.results[(name, int(level), width)]
+
+    def base_cycles(self, name: str) -> int:
+        """Issue-1 processor with Conv: the paper's speedup denominator."""
+        return self.get(name, Level.CONV, 1).cycles
+
+    def speedup(self, name: str, level: Level, width: int) -> float:
+        return self.base_cycles(name) / self.get(name, level, width).cycles
+
+    def workload_names(self) -> list[str]:
+        return sorted({k[0] for k in self.results}, key=str.lower)
+
+
+def run_config(
+    w: Workload, level: Level, machine: MachineConfig, seed: int = 0,
+    check: bool = True,
+) -> ConfigResult:
+    arrays, scalars = w.make_inputs(seed)
+    ck = compile_kernel(w.build(), level, machine)
+    out = run_compiled_kernel(
+        ck,
+        arrays={k: v.copy() for k, v in arrays.items()},
+        scalars=scalars,
+    )
+    if check:
+        check_run(w, out.arrays, out.scalars, arrays, scalars)
+    usage = measure_register_usage(ck.func, ck.lowered.live_out_exit)
+    return ConfigResult(
+        w.name, int(level), machine.issue_width, out.cycles, out.instructions,
+        ck.inner_makespan, usage.int_regs, usage.fp_regs, check,
+    )
+
+
+def run_sweep(
+    workloads: list[Workload] | None = None,
+    levels: tuple[Level, ...] = tuple(Level),
+    widths: tuple[int, ...] = WIDTHS,
+    seed: int = 0,
+    check: bool = True,
+    verbose: bool = False,
+) -> SweepData:
+    data = SweepData()
+    t0 = time.time()
+    for w in workloads or all_workloads():
+        for level in levels:
+            for width in widths:
+                r = run_config(w, level, MachineConfig(issue_width=width), seed, check)
+                data.results[(w.name, int(level), width)] = r
+            if verbose:
+                print(f"  {w.name} {level.label} done")
+        if verbose:
+            print(f"{w.name} done ({time.time() - t0:.1f}s)")
+    data.elapsed = time.time() - t0
+    return data
+
+
+# ---------------------------------------------------------------------------
+# disk cache
+# ---------------------------------------------------------------------------
+
+
+def default_cache_path() -> Path:
+    return Path(__file__).resolve().parents[3] / "results" / "sweep.json"
+
+
+def save_sweep(data: SweepData, path: Path | None = None) -> Path:
+    path = path or default_cache_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": CACHE_VERSION,
+        "elapsed": data.elapsed,
+        "results": [asdict(r) for r in data.results.values()],
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_sweep(path: Path | None = None) -> SweepData | None:
+    path = path or default_cache_path()
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if payload.get("version") != CACHE_VERSION:
+        return None
+    data = SweepData(elapsed=payload.get("elapsed", 0.0))
+    for d in payload["results"]:
+        r = ConfigResult(**d)
+        data.results[(r.workload, r.level, r.width)] = r
+    # a usable cache covers the full grid
+    expected = len(all_workloads()) * len(Level) * len(WIDTHS)
+    if len(data.results) != expected:
+        return None
+    return data
+
+
+def sweep_cached(force: bool = False, verbose: bool = False) -> SweepData:
+    """Load the cached grid or compute and cache it."""
+    if not force:
+        cached = load_sweep()
+        if cached is not None:
+            return cached
+    data = run_sweep(verbose=verbose)
+    save_sweep(data)
+    return data

@@ -1,0 +1,119 @@
+"""Renderers for Table 1, Table 2, and the headline scalar claims."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.instructions import Kind
+from ..machine import PAPER_LATENCIES
+from ..pipeline import Level
+from ..workloads import all_workloads, get_workload
+from .sweep import SweepData
+
+
+def render_table1() -> str:
+    rows = [
+        ("Int ALU", Kind.INT_ALU), ("Int multiply", Kind.INT_MUL),
+        ("Int divide", Kind.INT_DIV), ("branch", Kind.BRANCH),
+        ("memory load", Kind.LOAD), ("FP ALU", Kind.FP_ALU),
+        ("FP conversion", Kind.FP_CVT), ("FP multiply", Kind.FP_MUL),
+        ("FP divide", Kind.FP_DIV), ("memory store", Kind.STORE),
+    ]
+    out = ["Table 1: instruction latencies", "=" * 31,
+           f"{'Function':<16}{'Latency':>8}"]
+    for name, kind in rows:
+        lat = PAPER_LATENCIES[kind]
+        suffix = " / 1 slot" if kind is Kind.BRANCH else ""
+        out.append(f"{name:<16}{lat:>8}{suffix}")
+    return "\n".join(out)
+
+
+def render_table2() -> str:
+    out = [
+        "Table 2: loop nest descriptions (paper metadata; sim iters scaled)",
+        "=" * 68,
+        f"{'Name':<14}{'Size':>5}{'Iters':>7}{'Nest':>5}  {'Type':<10}{'Conds':<5}",
+        "-" * 50,
+    ]
+    for w in all_workloads():
+        out.append(
+            f"{w.name:<14}{w.size_lines:>5}{w.paper_iters:>7}{w.nest:>5}  "
+            f"{w.loop_type:<10}{'yes' if w.conds else 'no':<5}"
+        )
+    return "\n".join(out)
+
+
+@dataclass
+class HeadlineClaims:
+    """The scalar results quoted in Sections 3.2 and 4."""
+
+    #: average speedups by (width, level label)
+    avg_speedup: dict[tuple[int, str], float]
+    #: average speedups by (width, level, doall?) — Section 4 breakdown
+    avg_speedup_split: dict[tuple[int, str, bool], float]
+    #: average total registers at issue-8 per level
+    avg_regs: dict[str, float]
+    #: register growth factor Conv -> Lev4
+    reg_growth: float
+    #: number of loops needing < 128 registers at Lev4 / issue-8
+    under_128: int
+
+    def render(self) -> str:
+        out = ["Headline claims (paper section 3.2 / 4 vs measured)",
+               "=" * 52]
+        paper = {
+            (4, "Lev2"): 3.73, (4, "Lev4"): 4.35,
+            (8, "Lev2"): 5.10, (8, "Lev4"): 6.68,
+        }
+        for (wd, lv), v in sorted(self.avg_speedup.items()):
+            p = paper.get((wd, lv))
+            ps = f"  (paper {p:.2f})" if p else ""
+            out.append(f"avg speedup issue-{wd} {lv}: {v:.2f}{ps}")
+        paper_split = {
+            (8, "Lev2", True): 6.8, (8, "Lev2", False): 3.7,
+            (8, "Lev4", True): 7.8, (8, "Lev4", False): 5.8,
+        }
+        for (wd, lv, da), v in sorted(
+            self.avg_speedup_split.items(), key=lambda kv: (kv[0][0], kv[0][1], not kv[0][2])
+        ):
+            p = paper_split.get((wd, lv, da))
+            ps = f"  (paper {p:.1f})" if p else ""
+            kind = "DOALL" if da else "non-DOALL"
+            out.append(f"avg speedup issue-{wd} {lv} {kind}: {v:.2f}{ps}")
+        paper_regs = {"Lev1": 28.0, "Lev2": 57.0, "Lev3": 65.0, "Lev4": 71.0}
+        for lv, v in self.avg_regs.items():
+            p = paper_regs.get(lv)
+            ps = f"  (paper {p:.0f})" if p else ""
+            out.append(f"avg registers issue-8 {lv}: {v:.1f}{ps}")
+        out.append(f"register growth Conv->Lev4: {self.reg_growth:.2f}x (paper 2.6x)")
+        out.append(f"loops under 128 regs at Lev4/issue-8: {self.under_128}/40 (paper 37/40)")
+        return "\n".join(out)
+
+
+def compute_headline_claims(data: SweepData) -> HeadlineClaims:
+    names = data.workload_names()
+    doall = {n: get_workload(n).loop_type == "doall" for n in names}
+
+    avg_speedup: dict[tuple[int, str], float] = {}
+    for width in (2, 4, 8):
+        for level in (Level.LEV2, Level.LEV3, Level.LEV4):
+            vals = [data.speedup(n, level, width) for n in names]
+            avg_speedup[(width, level.label)] = sum(vals) / len(vals)
+
+    avg_split: dict[tuple[int, str, bool], float] = {}
+    for level in (Level.LEV2, Level.LEV4):
+        for da in (True, False):
+            sel = [n for n in names if doall[n] == da]
+            vals = [data.speedup(n, level, 8) for n in sel]
+            avg_split[(8, level.label, da)] = sum(vals) / len(vals)
+
+    avg_regs: dict[str, float] = {}
+    for level in Level:
+        vals = [data.get(n, level, 8).total_regs for n in names]
+        avg_regs[level.label] = sum(vals) / len(vals)
+
+    growth = avg_regs["Lev4"] / avg_regs["Conv"] if avg_regs["Conv"] else 0.0
+    under = sum(
+        1 for n in names if data.get(n, Level.LEV4, 8).total_regs < 128
+    )
+    return HeadlineClaims(avg_speedup, avg_split, avg_regs, growth, under)

@@ -1,0 +1,36 @@
+"""repro.frontend — the FORTRAN-like kernel language and its lowering."""
+
+from .ast import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Bin,
+    Cmp,
+    Const,
+    Cvt,
+    Do,
+    Expr,
+    If,
+    Kernel,
+    Neg,
+    Stmt,
+    Ty,
+    VarRef,
+    aref,
+    assign,
+    do,
+    flt,
+    if_,
+    var,
+    wrap,
+)
+from .typing import TypeEnv, TypeError_, check_kernel
+from .lower import LoweredKernel, Lowerer, lower_kernel
+
+__all__ = [
+    "ArrayDecl", "ArrayRef", "Assign", "Bin", "Cmp", "Const", "Cvt", "Do",
+    "Expr", "If", "Kernel", "Neg", "Stmt", "Ty", "VarRef",
+    "aref", "assign", "do", "flt", "if_", "var", "wrap",
+    "TypeEnv", "TypeError_", "check_kernel",
+    "LoweredKernel", "Lowerer", "lower_kernel",
+]

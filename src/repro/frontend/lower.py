@@ -1,0 +1,315 @@
+"""Lowering kernel ASTs to IR.
+
+Code generation is deliberately naive — temporaries for every
+subexpression, full address arithmetic at every array reference, one
+fixed register per scalar variable — because the paper's "Conv" baseline
+is *defined* as classical optimization cleaning up exactly this kind of
+code (constant folding, CSE, LICM, induction-variable strength reduction
+turn the naive address math into the pointer-induction loops of
+Figure 1(b)).
+
+Arrays are column-major, 1-based, 4-byte elements.  ``DO`` loops lower to
+do-while form (test at the bottom), with ``CountedLoop`` metadata recorded
+for every loop so strength reduction can retarget tests and unrolling can
+precondition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.loopvars import CountedLoop
+from ..ir.block import Block
+from ..ir.function import Function
+from ..ir.instructions import Instr, Op
+from ..ir.operands import FImm, Imm, Label, Operand, Reg, RegClass, Sym
+from .ast import (
+    ArrayRef,
+    Assign,
+    Bin,
+    Cmp,
+    Const,
+    Cvt,
+    Do,
+    Expr,
+    If,
+    Kernel,
+    Neg,
+    Stmt,
+    Ty,
+    VarRef,
+)
+from .typing import check_kernel
+
+_BIN_INT = {"+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV, "%": Op.REM}
+_BIN_FP = {"+": Op.FADD, "-": Op.FSUB, "*": Op.FMUL, "/": Op.FDIV}
+
+#: condition -> branch-if-true opcode (int, fp)
+_CMP_TRUE = {
+    "<": (Op.BLT, Op.FBLT),
+    "<=": (Op.BLE, Op.FBLE),
+    ">": (Op.BGT, Op.FBGT),
+    ">=": (Op.BGE, Op.FBGE),
+    "==": (Op.BEQ, Op.FBEQ),
+    "!=": (Op.BNE, Op.FBNE),
+}
+_NEGATE = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "=="}
+
+
+@dataclass
+class LoweredKernel:
+    """Result of lowering: the function plus binding information."""
+
+    kernel: Kernel
+    func: Function
+    #: scalar variable -> its register
+    scalar_regs: dict[str, Reg]
+    #: loop header label -> counted-loop metadata (kept current by passes)
+    counted: dict[str, CountedLoop]
+    #: header label of the innermost loop (the ILP target)
+    inner_header: str
+    #: KAP classification of the innermost loop
+    inner_kind: str
+
+    @property
+    def live_out_exit(self) -> set[Reg]:
+        return {self.scalar_regs[n] for n in self.kernel.outputs}
+
+
+class Lowerer:
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.env = check_kernel(kernel)
+        self.func = Function(kernel.name)
+        self.cur: Block = self.func.add_block("entry")
+        self.scalar_regs: dict[str, Reg] = {}
+        self.counted: dict[str, CountedLoop] = {}
+        self.inner: tuple[int, str, str] | None = None  # (depth, header, kind)
+        self._depth = 0
+
+    # -- registers -----------------------------------------------------------
+
+    def scalar_reg(self, name: str) -> Reg:
+        reg = self.scalar_regs.get(name)
+        if reg is None:
+            ty = self.env.scalars.setdefault(name, Ty.INT)
+            reg = self.func.new_reg(RegClass.INT if ty is Ty.INT else RegClass.FP)
+            self.scalar_regs[name] = reg
+        return reg
+
+    def emit(self, ins: Instr) -> Instr:
+        self.cur.append(ins)
+        return ins
+
+    def new_block(self, hint: str = "L") -> Block:
+        self.cur = self.func.add_block(self.func.new_label(hint))
+        return self.cur
+
+    # -- expressions --------------------------------------------------------
+
+    def lower_expr(self, e: Expr) -> Operand:
+        if isinstance(e, Const):
+            return Imm(e.value) if isinstance(e.value, int) else FImm(float(e.value))
+        if isinstance(e, VarRef):
+            return self.scalar_reg(e.name)
+        if isinstance(e, ArrayRef):
+            base, off = self.lower_address(e)
+            decl = self.kernel.arrays[e.name]
+            dest = self.func.new_reg(
+                RegClass.FP if decl.ty is Ty.FP else RegClass.INT
+            )
+            self.emit(Instr(Op.LDF if decl.ty is Ty.FP else Op.LD, dest, (base, off)))
+            return dest
+        if isinstance(e, Bin):
+            lt = self.env.expr_type(e.l)
+            rt = self.env.expr_type(e.r)
+            fp = Ty.FP in (lt, rt)
+            a = self.lower_expr(e.l)
+            b = self.lower_expr(e.r)
+            if fp:
+                a = self._to_fp(a, lt)
+                b = self._to_fp(b, rt)
+                dest = self.func.new_fp_reg()
+                self.emit(Instr(_BIN_FP[e.op], dest, (a, b)))
+            else:
+                dest = self.func.new_int_reg()
+                self.emit(Instr(_BIN_INT[e.op], dest, (a, b)))
+            return dest
+        if isinstance(e, Neg):
+            t = self.env.expr_type(e.e)
+            v = self.lower_expr(e.e)
+            if t is Ty.FP:
+                dest = self.func.new_fp_reg()
+                self.emit(Instr(Op.FSUB, dest, (FImm(0.0), v)))
+            else:
+                dest = self.func.new_int_reg()
+                self.emit(Instr(Op.SUB, dest, (Imm(0), v)))
+            return dest
+        if isinstance(e, Cvt):
+            v = self.lower_expr(e.e)
+            return self._to_fp(v, Ty.INT)
+        raise TypeError(f"cannot lower {e!r}")
+
+    def _to_fp(self, v: Operand, ty: Ty) -> Operand:
+        if ty is Ty.FP:
+            return v
+        if isinstance(v, Imm):
+            return FImm(float(v.value))
+        dest = self.func.new_fp_reg()
+        self.emit(Instr(Op.ITOF, dest, (v,)))
+        return dest
+
+    def lower_address(self, ref: ArrayRef) -> tuple[Operand, Operand]:
+        """(base, offset) operands for a column-major, 1-based reference."""
+        decl = self.kernel.arrays[ref.name]
+        stride = 1
+        const_adj = 0
+        off: Operand | None = None
+        for idx, dim in zip(ref.idxs, decl.dims):
+            byte_stride = 4 * stride
+            const_adj -= byte_stride
+            v = self.lower_expr(idx)
+            if isinstance(v, Imm):
+                const_adj += v.value * byte_stride
+            else:
+                scaled = self.func.new_int_reg()
+                self.emit(Instr(Op.MUL, scaled, (v, Imm(byte_stride))))
+                if off is None:
+                    off = scaled
+                else:
+                    s = self.func.new_int_reg()
+                    self.emit(Instr(Op.ADD, s, (off, scaled)))
+                    off = s
+            stride *= dim
+        if off is None:
+            return Sym(ref.name), Imm(const_adj)
+        if const_adj:
+            t = self.func.new_int_reg()
+            self.emit(Instr(Op.ADD, t, (off, Imm(const_adj))))
+            off = t
+        return Sym(ref.name), off
+
+    # -- statements -------------------------------------------------------------
+
+    def lower_stmt(self, s: Stmt) -> None:
+        if isinstance(s, Assign):
+            self._lower_assign(s)
+        elif isinstance(s, If):
+            self._lower_if(s)
+        elif isinstance(s, Do):
+            self._lower_do(s)
+        else:
+            raise TypeError(f"cannot lower {s!r}")
+
+    def _lower_assign(self, s: Assign) -> None:
+        if isinstance(s.target, VarRef):
+            reg = self.scalar_reg(s.target.name)
+            vt = self.env.expr_type(s.value)
+            v = self.lower_expr(s.value)
+            if reg.is_fp:
+                v = self._to_fp(v, vt)
+                self.emit(Instr(Op.FMOV, reg, (v,)))
+            else:
+                self.emit(Instr(Op.MOV, reg, (v,)))
+        else:
+            decl = self.kernel.arrays[s.target.name]
+            vt = self.env.expr_type(s.value)
+            v = self.lower_expr(s.value)
+            base, off = self.lower_address(s.target)
+            if decl.ty is Ty.FP:
+                v = self._to_fp(v, vt)
+                self.emit(Instr(Op.STF, srcs=(base, off, v)))
+            else:
+                self.emit(Instr(Op.ST, srcs=(base, off, v)))
+
+    def _branch_on(self, cond: Cmp, negate: bool, target: str, prob: float) -> None:
+        op_str = _NEGATE[cond.op] if negate else cond.op
+        lt = self.env.expr_type(cond.l)
+        rt = self.env.expr_type(cond.r)
+        fp = Ty.FP in (lt, rt)
+        a = self.lower_expr(cond.l)
+        b = self.lower_expr(cond.r)
+        if fp:
+            a = self._to_fp(a, lt)
+            b = self._to_fp(b, rt)
+        bop = _CMP_TRUE[op_str][1 if fp else 0]
+        self.emit(Instr(bop, srcs=(a, b), target=Label(target), prob=prob))
+
+    def _lower_if(self, s: If) -> None:
+        # the conditional branch terminates its block so superblock trace
+        # selection can route through either arm
+        join_label = self.func.new_label("J")
+        if s.els:
+            els_label = self.func.new_label("E")
+            self._branch_on(s.cond, negate=True, target=els_label, prob=1.0 - s.p_then)
+            self.new_block("T")
+            for st in s.then:
+                self.lower_stmt(st)
+            self.emit(Instr(Op.JMP, target=Label(join_label)))
+            self.cur = self.func.add_block(els_label)
+            for st in s.els:
+                self.lower_stmt(st)
+            self.cur = self.func.add_block(join_label)
+        else:
+            self._branch_on(s.cond, negate=True, target=join_label, prob=1.0 - s.p_then)
+            self.new_block("T")
+            for st in s.then:
+                self.lower_stmt(st)
+            self.cur = self.func.add_block(join_label)
+
+    def _lower_do(self, s: Do) -> None:
+        iv = self.scalar_reg(s.var)
+        lo = self.lower_expr(s.lo)
+        hi = self.lower_expr(s.hi)
+        self.emit(Instr(Op.MOV, iv, (lo,)))
+        # limit = hi + 1, so the bottom test is `iv < limit`
+        if isinstance(hi, Imm):
+            limit: Operand = Imm(hi.value + 1)
+        else:
+            limit = self.func.new_int_reg()
+            self.emit(Instr(Op.ADD, limit, (hi, Imm(1))))
+        header = self.func.new_label("D")
+        self.cur = self.func.add_block(header)
+        self._depth += 1
+        for st in s.body:
+            self.lower_stmt(st)
+        inc = self.emit(Instr(Op.ADD, iv, (iv, Imm(1))))
+        br = self.emit(
+            Instr(Op.BLT, srcs=(iv, limit), target=Label(header), prob=0.9)
+        )
+        self.counted[header] = CountedLoop(header, iv, 1, limit, br, inc)
+        if self.inner is None or self._depth >= self.inner[0]:
+            self.inner = (self._depth, header, s.kind)
+        self._depth -= 1
+        self.new_block("X")
+
+    # -- driver ---------------------------------------------------------------------
+
+    def lower(self) -> LoweredKernel:
+        # fixed registers for every declared scalar up front, so harness
+        # bindings and outputs are well-defined even for unreferenced ones;
+        # pinning keeps them from being re-allocated after dead-code removal
+        for name in self.kernel.scalars:
+            self.func.pinned_regs.add(self.scalar_reg(name))
+        for s in self.kernel.body:
+            self.lower_stmt(s)
+        # terminate: explicit halt so fix-up blocks can be appended later
+        exit_blk = self.func.add_block("exit")
+        exit_blk.append(Instr(Op.HALT))
+        if self.inner is None:
+            raise ValueError(f"kernel {self.kernel.name} has no loop")
+        from ..ir.verify import verify_function
+
+        verify_function(self.func)
+        return LoweredKernel(
+            self.kernel,
+            self.func,
+            self.scalar_regs,
+            self.counted,
+            self.inner[1],
+            self.inner[2],
+        )
+
+
+def lower_kernel(kernel: Kernel) -> LoweredKernel:
+    return Lowerer(kernel).lower()

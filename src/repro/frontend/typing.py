@@ -1,0 +1,104 @@
+"""Type inference and checking for kernel ASTs.
+
+INT and FP are the only value types.  Mixed arithmetic promotes to FP via
+an implicit conversion (like FORTRAN's REAL promotion); array subscripts
+and loop bounds must be INT.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    ArrayRef,
+    Assign,
+    Bin,
+    Cmp,
+    Const,
+    Cvt,
+    Do,
+    Expr,
+    If,
+    Kernel,
+    Neg,
+    Stmt,
+    Ty,
+    VarRef,
+)
+
+
+class TypeError_(TypeError):
+    pass
+
+
+class TypeEnv:
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.scalars = dict(kernel.scalars)
+
+    def expr_type(self, e: Expr) -> Ty:
+        if isinstance(e, Const):
+            return Ty.INT if isinstance(e.value, int) else Ty.FP
+        if isinstance(e, VarRef):
+            try:
+                return self.scalars[e.name]
+            except KeyError:
+                raise TypeError_(f"undeclared scalar {e.name!r}") from None
+        if isinstance(e, ArrayRef):
+            try:
+                decl = self.kernel.arrays[e.name]
+            except KeyError:
+                raise TypeError_(f"undeclared array {e.name!r}") from None
+            if len(e.idxs) != len(decl.dims):
+                raise TypeError_(
+                    f"{e.name}: {len(e.idxs)} subscripts for {len(decl.dims)}-D array"
+                )
+            for idx in e.idxs:
+                if self.expr_type(idx) is not Ty.INT:
+                    raise TypeError_(f"{e.name}: non-integer subscript")
+            return decl.ty
+        if isinstance(e, Bin):
+            lt, rt = self.expr_type(e.l), self.expr_type(e.r)
+            if e.op == "%" and (lt is not Ty.INT or rt is not Ty.INT):
+                raise TypeError_("% requires integer operands")
+            return Ty.FP if Ty.FP in (lt, rt) else Ty.INT
+        if isinstance(e, Neg):
+            return self.expr_type(e.e)
+        if isinstance(e, Cvt):
+            if self.expr_type(e.e) is not Ty.INT:
+                raise TypeError_("FLOAT() of a non-integer")
+            return Ty.FP
+        raise TypeError_(f"unknown expression {e!r}")
+
+    def check_stmt(self, s: Stmt) -> None:
+        if isinstance(s, Assign):
+            tt = self.expr_type(s.target)
+            vt = self.expr_type(s.value)
+            if tt is Ty.INT and vt is Ty.FP:
+                raise TypeError_("cannot assign fp value to int target")
+        elif isinstance(s, If):
+            self.expr_type(s.cond.l)
+            self.expr_type(s.cond.r)
+            for st in s.then:
+                self.check_stmt(st)
+            for st in s.els:
+                self.check_stmt(st)
+        elif isinstance(s, Do):
+            if self.expr_type(s.lo) is not Ty.INT or self.expr_type(s.hi) is not Ty.INT:
+                raise TypeError_(f"DO {s.var}: non-integer bounds")
+            if s.var in self.scalars and self.scalars[s.var] is not Ty.INT:
+                raise TypeError_(f"loop variable {s.var} declared non-integer")
+            self.scalars.setdefault(s.var, Ty.INT)
+            for st in s.body:
+                self.check_stmt(st)
+        else:
+            raise TypeError_(f"unknown statement {s!r}")
+
+
+def check_kernel(kernel: Kernel) -> TypeEnv:
+    """Validate the kernel; returns the environment (loop vars added)."""
+    env = TypeEnv(kernel)
+    for name in kernel.outputs:
+        if name not in kernel.scalars:
+            raise TypeError_(f"output {name!r} is not a declared scalar")
+    for s in kernel.body:
+        env.check_stmt(s)
+    return env

@@ -1,0 +1,140 @@
+"""End-to-end harness: kernel -> compile at a level -> simulate -> check.
+
+This is the public "just run it" API::
+
+    ck = compile_kernel(kernel, Level.LEV4, issue8())
+    out = run_compiled_kernel(ck, arrays={"A": a, "B": b, "C": c},
+                              scalars={"n": 100})
+    out.cycles, out.arrays["C"], out.scalars.get("s")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .frontend.ast import Kernel, Ty
+from .frontend.lower import LoweredKernel, lower_kernel
+from .machine import MachineConfig
+from .opt.driver import ConvReport, run_conv
+from .pipeline import Level, TransformReport, apply_ilp_transforms, schedule_function
+from .schedule.listsched import Schedule
+from .schedule.superblock import SuperblockLoop
+from .sim import Memory, simulate
+
+
+@dataclass
+class CompiledKernel:
+    lowered: LoweredKernel
+    level: Level
+    machine: MachineConfig
+    sb: SuperblockLoop
+    schedules: dict[str, Schedule]
+    conv_report: ConvReport
+    ilp_report: TransformReport
+
+    @property
+    def func(self):
+        return self.lowered.func
+
+    @property
+    def inner_makespan(self) -> int:
+        return self.schedules[self.sb.header].makespan
+
+
+def compile_kernel(
+    kernel: Kernel,
+    level: Level,
+    machine: MachineConfig,
+    unroll_factor: int | None = None,
+    thr_unit_latency: bool = False,
+) -> CompiledKernel:
+    """Lower, classically optimize, ILP-transform, and schedule a kernel."""
+    lk = lower_kernel(kernel)
+    conv_rep = run_conv(lk.func, lk.counted, lk.live_out_exit)
+    counted = lk.counted[lk.inner_header]
+    sb, ilp_rep = apply_ilp_transforms(
+        lk.func,
+        counted,
+        level,
+        machine,
+        lk.live_out_exit,
+        unroll_factor,
+        thr_unit_latency=thr_unit_latency,
+    )
+    doall = lk.inner_kind == "doall"
+    schedules = schedule_function(
+        lk.func, machine, lk.live_out_exit, sb=sb, doall=doall
+    )
+    return CompiledKernel(lk, level, machine, sb, schedules, conv_rep, ilp_rep)
+
+
+@dataclass
+class KernelRun:
+    cycles: int
+    instructions: int
+    arrays: dict[str, np.ndarray]
+    scalars: dict[str, float | int]
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+def run_compiled_kernel(
+    ck: CompiledKernel,
+    arrays: dict[str, np.ndarray] | None = None,
+    scalars: dict[str, float | int] | None = None,
+    max_cycles: int = 200_000_000,
+) -> KernelRun:
+    """Simulate a compiled kernel on bound data.
+
+    Every declared array must be provided with matching total size; input
+    scalars default to 0.  Returns final array contents and the kernel's
+    declared output scalars.
+    """
+    arrays = arrays or {}
+    scalars = scalars or {}
+    kernel = ck.lowered.kernel
+    mem = Memory()
+    for name, decl in kernel.arrays.items():
+        if name not in arrays:
+            raise ValueError(f"array {name!r} not bound")
+        data = np.asarray(arrays[name])
+        if data.size != decl.size:
+            raise ValueError(
+                f"array {name!r}: expected {decl.size} elements, got {data.size}"
+            )
+        mem.bind_array(name, data)
+
+    iregs: dict[int, int] = {}
+    fregs: dict[int, float] = {}
+    for name, reg in ck.lowered.scalar_regs.items():
+        ty = kernel.scalars.get(name)
+        if ty is None:
+            continue  # loop variables and such: defined by the code
+        val = scalars.get(name, 0)
+        if ty is Ty.FP:
+            fregs[reg.id] = float(val)
+        else:
+            iregs[reg.id] = int(val)
+
+    res = simulate(ck.func, ck.machine, mem, iregs, fregs, max_cycles=max_cycles)
+
+    out_arrays = {
+        name: mem.read_array(
+            name, decl.dims,
+            np.float64 if decl.ty is Ty.FP else np.int64,
+        )
+        for name, decl in kernel.arrays.items()
+    }
+    out_scalars: dict[str, float | int] = {}
+    for name in kernel.outputs:
+        reg = ck.lowered.scalar_regs[name]
+        bank = res.fregs if reg.is_fp else res.iregs
+        if reg.id in bank:
+            out_scalars[name] = bank[reg.id]
+        else:  # never written: the input value flows through
+            out_scalars[name] = scalars.get(name, 0)
+    return KernelRun(res.cycles, res.instructions, out_arrays, out_scalars)

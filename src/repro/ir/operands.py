@@ -1,0 +1,138 @@
+"""Operand kinds for the repro RISC intermediate representation.
+
+The IR models a load/store RISC instruction set similar to the MIPS R2000,
+as assumed by the paper (Section 3.1).  Instructions operate on an unlimited
+supply of *virtual registers* split into two classes — integer and floating
+point — plus integer and floating-point immediates, symbolic addresses
+(array base addresses, resolved by the simulator's symbol table), and
+branch-target labels.
+
+Operands are immutable value objects: two ``Reg(3, RegClass.INT)`` are the
+same register.  The printer renders them in the paper's notation
+(``r3i``, ``r3f``, ``A``, ``L1``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RegClass(enum.Enum):
+    """Register class: the machine has separate int and fp register files."""
+
+    INT = "i"
+    FP = "f"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"RegClass.{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Reg:
+    """A virtual register.
+
+    ``id`` is unique *within a class*; ``Reg(1, INT)`` and ``Reg(1, FP)``
+    are distinct registers (printed ``r1i`` and ``r1f``).
+    """
+
+    id: int
+    cls: RegClass
+
+    def __str__(self) -> str:
+        return f"r{self.id}{self.cls.value}"
+
+    def __repr__(self) -> str:
+        return str(self)
+
+    @property
+    def is_int(self) -> bool:
+        return self.cls is RegClass.INT
+
+    @property
+    def is_fp(self) -> bool:
+        return self.cls is RegClass.FP
+
+
+@dataclass(frozen=True, slots=True)
+class Imm:
+    """Integer immediate operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+@dataclass(frozen=True, slots=True)
+class FImm:
+    """Floating-point immediate operand."""
+
+    value: float
+
+    def __str__(self) -> str:
+        return repr(float(self.value))
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Sym:
+    """A symbolic integer constant — an array base address.
+
+    The simulator resolves symbols through a symbol table built when arrays
+    are bound to memory.  For dependence analysis, two distinct symbols are
+    guaranteed not to alias (FORTRAN array semantics).
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Label:
+    """A branch-target label naming a basic block."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+#: Operands usable where an integer value is expected.
+IntOperand = Reg | Imm | Sym
+#: Operands usable where a floating-point value is expected.
+FpOperand = Reg | FImm
+#: Any value operand.
+Operand = Reg | Imm | FImm | Sym
+
+
+def int_reg(i: int) -> Reg:
+    """Shorthand for ``Reg(i, RegClass.INT)``."""
+    return Reg(i, RegClass.INT)
+
+
+def fp_reg(i: int) -> Reg:
+    """Shorthand for ``Reg(i, RegClass.FP)``."""
+    return Reg(i, RegClass.FP)
+
+
+def is_constant(op: Operand) -> bool:
+    """True if the operand has a compile-time-known value (Imm/FImm).
+
+    ``Sym`` is a link-time constant but its numeric value is unknown to the
+    compiler, so it does not count for operation combining or folding.
+    """
+    return isinstance(op, (Imm, FImm))

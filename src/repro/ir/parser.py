@@ -1,0 +1,187 @@
+"""Parser for the paper-style assembly notation produced by the printer.
+
+This enables tests (and users) to write IR exactly as it appears in the
+paper's figures::
+
+    func = parse_function('''
+    function daxpy:
+    L1:
+      r2f = MEM(A+r1i)
+      r3f = MEM(B+r1i)
+      r4f = r2f + r3f
+      MEM(C+r1i) = r4f
+      r1i = r1i + 4
+      blt (r1i r5i) L1
+    exit:
+    ''')
+
+Binary opcodes are selected by destination register class (``r4f = a + b``
+is ``fadd``; ``r1i = a + b`` is ``add``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .block import Block
+from .function import Function
+from .instructions import Instr, Op, OP_INFO, Kind
+from .operands import FImm, Imm, Label, Operand, Reg, RegClass, Sym
+
+
+class ParseError(ValueError):
+    pass
+
+
+_REG_RE = re.compile(r"^r(\d+)([if])$")
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+_SYM_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9.]*$")
+
+_BINOPS_INT: dict[str, Op] = {
+    "+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV, "%": Op.REM,
+    "&": Op.AND, "|": Op.OR, "^": Op.XOR,
+    "<<": Op.SHL, ">>": Op.SHRA, ">>>": Op.SHRL,
+}
+_BINOPS_FP: dict[str, Op] = {
+    "+": Op.FADD, "-": Op.FSUB, "*": Op.FMUL, "/": Op.FDIV,
+}
+_BRANCH_OPS = {
+    op.value: op for op in Op if OP_INFO[op].kind is Kind.BRANCH
+}
+
+_BINOP_SPLIT = re.compile(r"\s(\+|\-|\*|/|%|&|\||\^|<<|>>>|>>)\s")
+_MEM_RE = re.compile(r"^MEM\(\s*([^)+]+?)\s*(?:([+-])\s*([^)]+?)\s*)?\)$")
+_BRANCH_RE = re.compile(r"^(\w+)\s*\(\s*(\S+)\s+(\S+)\s*\)\s*(\S+)$")
+_CVT_RE = re.compile(r"^(itof|ftoi)\(\s*(\S+)\s*\)$")
+
+
+def parse_operand(text: str) -> Operand:
+    """Parse a register, immediate, or symbol."""
+    text = text.strip()
+    m = _REG_RE.match(text)
+    if m:
+        cls = RegClass.INT if m.group(2) == "i" else RegClass.FP
+        return Reg(int(m.group(1)), cls)
+    if _INT_RE.match(text):
+        return Imm(int(text))
+    if _FLOAT_RE.match(text):
+        return FImm(float(text))
+    if _SYM_RE.match(text):
+        return Sym(text)
+    raise ParseError(f"cannot parse operand {text!r}")
+
+
+def _parse_mem(text: str) -> tuple[Operand, Operand]:
+    m = _MEM_RE.match(text.strip())
+    if not m:
+        raise ParseError(f"cannot parse memory operand {text!r}")
+    base = parse_operand(m.group(1))
+    if m.group(3) is None:
+        off: Operand = Imm(0)
+    else:
+        off = parse_operand(m.group(3))
+        if m.group(2) == "-":
+            if isinstance(off, Imm):
+                off = Imm(-off.value)
+            else:
+                raise ParseError(f"negative register offset in {text!r}")
+    return base, off
+
+
+def parse_instr(line: str) -> Instr:
+    """Parse one instruction in printer notation."""
+    line = line.strip()
+    if line == "nop":
+        return Instr(Op.NOP)
+    if line == "halt":
+        return Instr(Op.HALT)
+    if line.startswith("jmp "):
+        return Instr(Op.JMP, target=Label(line[4:].strip()))
+
+    m = _BRANCH_RE.match(line)
+    if m and m.group(1) in _BRANCH_OPS:
+        op = _BRANCH_OPS[m.group(1)]
+        a, b = parse_operand(m.group(2)), parse_operand(m.group(3))
+        return Instr(op, srcs=(a, b), target=Label(m.group(4)))
+
+    if "=" not in line:
+        raise ParseError(f"cannot parse instruction {line!r}")
+    lhs, rhs = (s.strip() for s in line.split("=", 1))
+
+    # store: MEM(...) = value
+    if lhs.startswith("MEM("):
+        base, off = _parse_mem(lhs)
+        val = parse_operand(rhs)
+        op = Op.STF if isinstance(val, (FImm,)) or (
+            isinstance(val, Reg) and val.is_fp
+        ) else Op.ST
+        return Instr(op, srcs=(base, off, val))
+
+    dest = parse_operand(lhs)
+    if not isinstance(dest, Reg):
+        raise ParseError(f"destination must be a register: {line!r}")
+
+    # load: dest = MEM(...)
+    if rhs.startswith("MEM("):
+        base, off = _parse_mem(rhs)
+        return Instr(Op.LDF if dest.is_fp else Op.LD, dest, (base, off))
+
+    # conversion: dest = itof(x) / ftoi(x)
+    m = _CVT_RE.match(rhs)
+    if m:
+        op = Op.ITOF if m.group(1) == "itof" else Op.FTOI
+        return Instr(op, dest, (parse_operand(m.group(2)),))
+
+    # binary: dest = a OP b   (split on spaced operator to keep negative
+    # immediates like "r1i = r2i + -4" unambiguous)
+    m = _BINOP_SPLIT.search(rhs)
+    if m:
+        sym = m.group(1)
+        a = parse_operand(rhs[: m.start()])
+        b = parse_operand(rhs[m.end():])
+        table = _BINOPS_FP if dest.is_fp else _BINOPS_INT
+        if sym not in table:
+            raise ParseError(f"operator {sym!r} invalid for {dest}: {line!r}")
+        return Instr(table[sym], dest, (a, b))
+
+    # move: dest = src
+    src = parse_operand(rhs)
+    return Instr(Op.FMOV if dest.is_fp else Op.MOV, dest, (src,))
+
+
+def parse_block(text: str, label: str = "entry") -> Block:
+    """Parse instruction lines (no labels) into a block."""
+    blk = Block(label)
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        blk.append(parse_instr(line))
+    return blk
+
+
+def parse_function(text: str) -> Function:
+    """Parse a whole function: optional header line, labeled blocks."""
+    func: Function | None = None
+    cur: Block | None = None
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("function "):
+            name = line[len("function "):].rstrip(":").strip()
+            func = Function(name)
+            continue
+        if func is None:
+            func = Function("anonymous")
+        if line.endswith(":") and _SYM_RE.match(line[:-1]):
+            cur = func.add_block(line[:-1])
+            continue
+        if cur is None:
+            cur = func.add_block("entry")
+        cur.append(parse_instr(line))
+    if func is None:
+        raise ParseError("empty function text")
+    func.reindex_regs()
+    return func

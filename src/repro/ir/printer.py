@@ -1,0 +1,84 @@
+"""Textual rendering of IR in the paper's assembly notation.
+
+Examples (cf. Figure 1 of the paper)::
+
+    r2f = MEM(A+r1i)
+    r4f = r2f + r3f
+    MEM(C+r1i) = r4f
+    r1i = r1i + 4
+    blt (r1i r5i) L1
+
+The notation round-trips through :mod:`repro.ir.parser`.
+"""
+
+from __future__ import annotations
+
+from .block import Block
+from .function import Function
+from .instructions import Instr, Kind, Op
+from .operands import Imm, Operand
+
+_BINOP_SYMBOL: dict[Op, str] = {
+    Op.ADD: "+", Op.SUB: "-", Op.MUL: "*", Op.DIV: "/", Op.REM: "%",
+    Op.AND: "&", Op.OR: "|", Op.XOR: "^",
+    Op.SHL: "<<", Op.SHRA: ">>", Op.SHRL: ">>>",
+    Op.FADD: "+", Op.FSUB: "-", Op.FMUL: "*", Op.FDIV: "/",
+}
+
+_CVT_NAME: dict[Op, str] = {Op.ITOF: "itof", Op.FTOI: "ftoi"}
+
+
+def _addr(base: Operand, off: Operand) -> str:
+    if isinstance(off, Imm):
+        if off.value == 0:
+            return f"MEM({base})"
+        if off.value < 0:
+            return f"MEM({base}{off.value})"
+    return f"MEM({base}+{off})"
+
+
+def format_instr(ins: Instr) -> str:
+    """One instruction in paper notation."""
+    op = ins.op
+    if op in _BINOP_SYMBOL:
+        a, b = ins.srcs
+        return f"{ins.dest} = {a} {_BINOP_SYMBOL[op]} {b}"
+    if op in (Op.MOV, Op.FMOV):
+        return f"{ins.dest} = {ins.srcs[0]}"
+    if op in _CVT_NAME:
+        return f"{ins.dest} = {_CVT_NAME[op]}({ins.srcs[0]})"
+    if ins.is_load:
+        base, off = ins.srcs
+        return f"{ins.dest} = {_addr(base, off)}"
+    if ins.is_store:
+        base, off, val = ins.srcs
+        return f"{_addr(base, off)} = {val}"
+    if ins.kind is Kind.BRANCH:
+        a, b = ins.srcs
+        return f"{op.value} ({a} {b}) {ins.target}"
+    if op is Op.JMP:
+        return f"jmp {ins.target}"
+    if op is Op.HALT:
+        return "halt"
+    if op is Op.NOP:
+        return "nop"
+    raise AssertionError(f"unhandled opcode {op}")
+
+
+def format_block(blk: Block, indent: str = "  ") -> str:
+    lines = [f"{blk.label}:"]
+    lines.extend(indent + format_instr(i) for i in blk.instrs)
+    return "\n".join(lines)
+
+
+def format_function(func: Function) -> str:
+    parts = [f"function {func.name}:"]
+    parts.extend(format_block(b) for b in func.blocks)
+    return "\n".join(parts)
+
+
+def format_schedule(instrs_with_times: list[tuple[Instr, int]]) -> str:
+    """Render '<instr>    <issue-time>' rows like the paper's figures."""
+    rendered = [(format_instr(i), t) for i, t in instrs_with_times]
+    width = max((len(s) for s, _ in rendered), default=0)
+    return "\n".join(f"{s:<{width}}  {t}" for s, t in rendered)

@@ -1,0 +1,71 @@
+"""Structural and type verifier for IR functions.
+
+Run after construction and after every transformation pass (the pipeline
+does this in debug mode) to catch malformed IR early:
+
+* operand arity and register classes match the opcode signature;
+* branch targets name existing blocks;
+* block labels are unique;
+* no instruction object appears twice;
+* unconditional jumps/branches only as allowed (side exits are permitted —
+  superblocks rely on them — but a jump must terminate its block).
+"""
+
+from __future__ import annotations
+
+from .function import Function
+from .instructions import Instr, Kind, Op, OP_INFO
+from .operands import FImm, Imm, Reg, RegClass, Sym
+
+
+class VerifyError(AssertionError):
+    pass
+
+
+def _operand_class_ok(operand, expected: RegClass) -> bool:
+    if isinstance(operand, Reg):
+        return operand.cls is expected
+    if isinstance(operand, Imm) or isinstance(operand, Sym):
+        return expected is RegClass.INT
+    if isinstance(operand, FImm):
+        return expected is RegClass.FP
+    return False
+
+
+def verify_instr(ins: Instr) -> None:
+    info = OP_INFO[ins.op]
+    if len(ins.srcs) != info.n_srcs:
+        raise VerifyError(f"{ins!r}: expected {info.n_srcs} srcs")
+    if (ins.dest is None) != (info.dest_cls is None):
+        raise VerifyError(f"{ins!r}: dest presence mismatch")
+    if ins.dest is not None and ins.dest.cls is not info.dest_cls:
+        raise VerifyError(f"{ins!r}: dest class {ins.dest.cls} != {info.dest_cls}")
+    for i, (src, cls) in enumerate(zip(ins.srcs, info.src_cls)):
+        if not _operand_class_ok(src, cls):
+            raise VerifyError(f"{ins!r}: src {i} ({src}) not of class {cls}")
+    if info.kind in (Kind.BRANCH, Kind.JUMP):
+        if ins.target is None:
+            raise VerifyError(f"{ins!r}: control instruction without target")
+    elif ins.target is not None:
+        raise VerifyError(f"{ins!r}: non-control instruction with target")
+
+
+def verify_function(func: Function) -> None:
+    labels = [b.label for b in func.blocks]
+    if len(set(labels)) != len(labels):
+        raise VerifyError(f"duplicate block labels in {func.name}")
+    label_set = set(labels)
+
+    seen_ids: set[int] = set()
+    for blk in func.blocks:
+        for idx, ins in enumerate(blk.instrs):
+            if id(ins) in seen_ids:
+                raise VerifyError(f"instruction {ins!r} appears twice")
+            seen_ids.add(id(ins))
+            verify_instr(ins)
+            if ins.target is not None and ins.target.name not in label_set:
+                raise VerifyError(
+                    f"{ins!r} targets unknown label {ins.target.name!r}"
+                )
+            if ins.op is Op.JMP and idx != len(blk.instrs) - 1:
+                raise VerifyError(f"jump mid-block in {blk.label}")

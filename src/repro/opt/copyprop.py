@@ -1,0 +1,166 @@
+"""Copy propagation.
+
+Local: within a block, after ``d = s`` every use of ``d`` reads ``s``
+until either is redefined.
+
+Global: a register with exactly one definition in the whole function,
+which is a move from a register that is *never* redefined after that
+point (conservatively: has exactly one definition as well, or is never
+defined at all — a live-in), can be propagated everywhere.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..ir.function import Function
+from ..ir.instructions import Instr, Op
+from ..ir.operands import Reg
+
+
+def propagate_copies_local(func: Function) -> int:
+    changed = 0
+    for blk in func.blocks:
+        copy_of: dict[Reg, Reg] = {}
+        for ins in blk.instrs:
+            sub = {r: copy_of[r] for r in ins.reg_uses() if r in copy_of}
+            if sub:
+                ins.replace_uses(sub)
+                changed += 1
+            d = ins.dest
+            if d is None:
+                continue
+            # invalidate copies broken by this definition
+            copy_of.pop(d, None)
+            for k in [k for k, v in copy_of.items() if v == d]:
+                copy_of.pop(k)
+            if ins.op in (Op.MOV, Op.FMOV) and isinstance(ins.srcs[0], Reg):
+                s = ins.srcs[0]
+                if s != d:
+                    copy_of[d] = s
+    return changed
+
+
+def coalesce_moves(func: Function) -> int:
+    """Backward move coalescing: rewrite ``t = a op b; ...; s = t`` into
+    ``s = a op b`` when ``t`` is a single-use temporary and ``s`` is not
+    touched in between.  This restores the ``s = s + x`` self-update shape
+    of reductions that expression lowering splits into a temp and a move —
+    the shape accumulator expansion recognizes.
+    """
+    use_count: dict[Reg, int] = defaultdict(int)
+    def_count: dict[Reg, int] = defaultdict(int)
+    for ins in func.iter_instrs():
+        for r in ins.reg_uses():
+            use_count[r] += 1
+        if ins.dest is not None:
+            def_count[ins.dest] += 1
+
+    changed = 0
+    for blk in func.blocks:
+        i = 0
+        while i < len(blk.instrs):
+            mov = blk.instrs[i]
+            if (
+                mov.op not in (Op.MOV, Op.FMOV)
+                or not isinstance(mov.srcs[0], Reg)
+                or mov.dest is None
+            ):
+                i += 1
+                continue
+            t = mov.srcs[0]
+            s = mov.dest
+            if t == s or use_count[t] != 1 or def_count[t] != 1:
+                i += 1
+                continue
+            # find t's definition earlier in this block
+            dpos = None
+            for j in range(i - 1, -1, -1):
+                ins = blk.instrs[j]
+                if ins.dest == t:
+                    dpos = j
+                    break
+                if s in set(ins.reg_uses()) or ins.dest == s or ins.is_control:
+                    break  # s touched (or block region ends) before t's def
+            if dpos is None:
+                i += 1
+                continue
+            d = blk.instrs[dpos]
+            if d.is_control or d.dest != t:
+                i += 1
+                continue
+            d.dest = s
+            blk.instrs.pop(i)
+            def_count[t] -= 1
+            def_count[s] += 1
+            use_count[t] -= 1
+            changed += 1
+            # do not advance i: the next instruction shifted into place
+    return changed
+
+
+def propagate_copies_global(func: Function) -> int:
+    from ..ir.loop import dominators
+
+    def_count: dict[Reg, int] = defaultdict(int)
+    def_site: dict[Reg, tuple[str, int, Instr]] = {}
+    for blk in func.blocks:
+        for pos, ins in enumerate(blk.instrs):
+            if ins.dest is not None:
+                def_count[ins.dest] += 1
+                def_site[ins.dest] = (blk.label, pos, ins)
+
+    dom = dominators(func)
+
+    def def_dominates_all_uses(d: Reg) -> bool:
+        dlab, dpos, _ = def_site[d]
+        for blk in func.blocks:
+            for pos, ins in enumerate(blk.instrs):
+                if d in set(ins.reg_uses()):
+                    if blk.label == dlab:
+                        if pos <= dpos:
+                            return False
+                    elif dlab not in dom.get(blk.label, set()):
+                        return False
+        return True
+
+    def src_def_dominates(s: Reg, dlab: str, dpos: int) -> bool:
+        """s's single def (if any) must dominate the move, else the move
+        might read a stale s around a backedge."""
+        if s not in def_site:
+            return True  # live-in, never written
+        slab, spos, _ = def_site[s]
+        if slab == dlab:
+            return spos < dpos
+        return slab in dom.get(dlab, set())
+
+    sub: dict[Reg, Reg] = {}
+    for d, (dlab, dpos, ins) in def_site.items():
+        if def_count[d] != 1 or ins.op not in (Op.MOV, Op.FMOV):
+            continue
+        s = ins.srcs[0]
+        if (
+            isinstance(s, Reg)
+            and def_count.get(s, 0) <= 1
+            and s != d
+            and src_def_dominates(s, dlab, dpos)
+            and def_dominates_all_uses(d)
+        ):
+            sub[d] = s
+    if not sub:
+        return 0
+    # resolve chains d -> s -> t
+    for d in list(sub):
+        seen = {d}
+        t = sub[d]
+        while t in sub and t not in seen:
+            seen.add(t)
+            t = sub[t]
+        sub[d] = t
+    changed = 0
+    for ins in func.iter_instrs():
+        m = {r: sub[r] for r in ins.reg_uses() if r in sub}
+        if m:
+            ins.replace_uses(m)
+            changed += 1
+    return changed

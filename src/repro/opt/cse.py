@@ -1,0 +1,71 @@
+"""Common subexpression elimination (local value numbering).
+
+Within each block, pure ALU operations with identical opcode and value
+numbers for their operands reuse the earlier result through a move (which
+copy propagation then folds away).  Memory operations are handled by the
+redundant-memory pass, not here.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..ir.function import Function
+from ..ir.instructions import Instr, Kind, Op
+from ..ir.operands import FImm, Imm, Operand, Reg, Sym
+
+_PURE_KINDS = {Kind.INT_ALU, Kind.INT_MUL, Kind.INT_DIV, Kind.FP_ALU,
+               Kind.FP_MUL, Kind.FP_DIV, Kind.FP_CVT}
+
+
+def eliminate_common_subexpressions(
+    func: Function, protected: frozenset[int] | set[int] = frozenset()
+) -> int:
+    """``protected`` holds ids of instructions that must not be rewritten —
+    the canonical increments of counted loops, which value numbering would
+    otherwise merge with body arithmetic (e.g. an ``i+1`` subscript),
+    destroying the loop shape that strength reduction and unrolling need."""
+    changed = 0
+    for blk in func.blocks:
+        vn = itertools.count(1)
+        value_of: dict[Reg, int] = {}
+        const_num: dict[object, int] = {}
+        expr_num: dict[tuple, tuple[int, Reg]] = {}
+
+        def operand_vn(op: Operand) -> int:
+            if isinstance(op, Reg):
+                if op not in value_of:
+                    value_of[op] = next(vn)
+                return value_of[op]
+            key = (type(op).__name__, getattr(op, "value", getattr(op, "name", None)))
+            if key not in const_num:
+                const_num[key] = next(vn)
+            return const_num[key]
+
+        for ins in blk.instrs:
+            d = ins.dest
+            if ins.kind not in _PURE_KINDS or d is None or id(ins) in protected:
+                if d is not None:
+                    value_of[d] = next(vn)
+                continue
+            if ins.op in (Op.MOV, Op.FMOV):
+                value_of[d] = operand_vn(ins.srcs[0])
+                continue
+            nums = tuple(operand_vn(s) for s in ins.srcs)
+            if ins.info.commutative:
+                nums = tuple(sorted(nums))
+            key = (ins.op, nums)
+            hit = expr_num.get(key)
+            if hit is not None:
+                num, src = hit
+                # reuse only if the holder still has that value number
+                if value_of.get(src) == num:
+                    ins.op = Op.FMOV if d.is_fp else Op.MOV
+                    ins.srcs = (src,)
+                    value_of[d] = num
+                    changed += 1
+                    continue
+            num = next(vn)
+            value_of[d] = num
+            expr_num[key] = (num, d)
+    return changed

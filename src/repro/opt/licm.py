@@ -1,0 +1,111 @@
+"""Loop-invariant code motion.
+
+Hoists to the preheader instructions whose operands are loop invariant,
+that are the only definition of their register in the loop, in a block
+that dominates the latch (so they execute every iteration — the hoist
+cannot introduce a computation that was conditionally skipped in a way
+that matters for a pure op, but the dominance requirement keeps possibly
+trapping ops and the definition-dominance discipline intact), and whose
+register is not live into the loop header (hoisting must not clobber a
+value the first iteration expected).
+
+Loads are hoisted only when no store in the loop can touch the same array
+(symbol-level disambiguation); possibly-trapping ops (div/rem) only from
+latch-dominating blocks, which our do-while loops always execute.
+"""
+
+from __future__ import annotations
+
+from ..analysis.liveness import liveness
+from ..ir.function import Function
+from ..ir.instructions import Instr, Kind, Op
+from ..ir.loop import Loop, dominators, ensure_preheader, find_loops
+from ..ir.operands import Reg, Sym
+
+_HOISTABLE_KINDS = {
+    Kind.INT_ALU, Kind.INT_MUL, Kind.INT_DIV,
+    Kind.FP_ALU, Kind.FP_MUL, Kind.FP_DIV, Kind.FP_CVT,
+}
+
+
+def _loop_stores_syms(func: Function, loop: Loop) -> tuple[set[str], bool]:
+    """(symbols stored through, any store with non-symbol base?)"""
+    syms: set[str] = set()
+    unknown = False
+    for ins in loop.body_instrs(func):
+        if ins.is_store:
+            base = ins.srcs[0]
+            if isinstance(base, Sym):
+                syms.add(base.name)
+            else:
+                unknown = True
+    return syms, unknown
+
+
+def hoist_loop_invariants(func: Function, live_out_exit: set[Reg] | None = None) -> int:
+    total = 0
+    loops = find_loops(func)
+    # innermost first: code hoisted out of an inner loop can then be hoisted
+    # again out of the enclosing loop on the next pass iteration
+    for loop in sorted(loops, key=lambda l: -l.depth):
+        total += _hoist_one(func, loop, live_out_exit or set())
+    return total
+
+
+def _hoist_one(func: Function, loop: Loop, live_out_exit: set[Reg]) -> int:
+    bm = func.block_map()
+    dom = dominators(func)
+    if len(loop.latches) != 1:
+        return 0
+    latch = loop.latches[0]
+
+    defs_in_loop: dict[Reg, int] = {}
+    for ins in loop.body_instrs(func):
+        if ins.dest is not None:
+            defs_in_loop[ins.dest] = defs_in_loop.get(ins.dest, 0) + 1
+
+    lv = liveness(func, live_out_exit)
+    header_live_in = lv.live_in.get(loop.header, set())
+    store_syms, store_unknown = _loop_stores_syms(func, loop)
+
+    hoisted = 0
+    changed = True
+    while changed:
+        changed = False
+        for lab in sorted(loop.blocks):
+            if lab not in dom.get(latch, set()):
+                continue  # must execute every iteration
+            blk = bm[lab]
+            for ins in list(blk.instrs):
+                d = ins.dest
+                if d is None:
+                    continue
+                invariant_srcs = all(
+                    not isinstance(s, Reg) or s not in defs_in_loop
+                    for s in ins.srcs
+                )
+                if not invariant_srcs:
+                    continue
+                if ins.kind in _HOISTABLE_KINDS:
+                    pass
+                elif ins.kind is Kind.LOAD:
+                    base = ins.srcs[0]
+                    if store_unknown:
+                        continue
+                    if not isinstance(base, Sym) or base.name in store_syms:
+                        continue
+                else:
+                    continue
+                if defs_in_loop.get(d, 0) != 1:
+                    continue
+                if d in header_live_in:
+                    # the first iteration sees a pre-loop value of d; we
+                    # cannot overwrite it before the loop
+                    continue
+                ph = ensure_preheader(func, loop)
+                blk.remove(ins)
+                ph.append(ins)
+                defs_in_loop.pop(d, None)
+                hoisted += 1
+                changed = True
+    return hoisted

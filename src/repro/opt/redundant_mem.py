@@ -1,0 +1,105 @@
+"""Redundant memory access elimination (local, per block).
+
+* load after load of the same address with no intervening may-alias store
+  -> move from the earlier loaded register;
+* load after store to the same address -> move from the stored value;
+* store after store to the same address with no intervening may-alias
+  load or store -> the earlier store is deleted.
+
+Address equality uses the symbolic analysis of
+:mod:`repro.analysis.memdep`; "same address" means provably-equal
+expressions, and "may alias" its conservative test.
+"""
+
+from __future__ import annotations
+
+from ..analysis.memdep import AddressAnalysis, may_alias
+from ..ir.function import Function
+from ..ir.instructions import Instr, Op
+from ..ir.operands import FImm, Imm, Reg
+
+
+def _same_addr(e1, e2) -> bool:
+    return e1.terms == e2.terms and e1.const == e2.const
+
+
+def eliminate_redundant_memory(
+    func: Function, prologues: dict[str, list] | None = None
+) -> int:
+    """``prologues`` optionally maps a block label to preheader code its
+    addresses may be resolved through (see AddressAnalysis) — used when
+    this runs on a superblock after induction expansion moved address
+    setup into the preheader."""
+    changed = 0
+    prologues = prologues or {}
+    for blk in func.blocks:
+        instrs = blk.instrs
+        aa = AddressAnalysis(instrs, prologues.get(blk.label))
+        mem = [i for i, ins in enumerate(instrs) if ins.is_mem]
+        if not mem:
+            continue
+        exprs = {i: aa.address_expr(i) for i in mem}
+        to_delete: set[int] = set()
+        replace_with_move: dict[int, object] = {}
+
+        for a_idx, i in enumerate(mem):
+            ins_i = instrs[i]
+            if i in to_delete or i in replace_with_move:
+                continue
+            # the value this access makes available
+            if ins_i.is_load:
+                avail = ins_i.dest
+            else:
+                avail = ins_i.store_value
+            killed = False
+            for j in mem[a_idx + 1:]:
+                ins_j = instrs[j]
+                same = _same_addr(exprs[i], exprs[j])
+                if ins_j.is_load and same and not killed:
+                    # forward the value, if the register holding it is not
+                    # clobbered in between
+                    if isinstance(avail, Reg):
+                        clobbered = any(
+                            instrs[t].dest == avail for t in range(i + 1, j)
+                        )
+                        if clobbered:
+                            continue
+                    replace_with_move[j] = avail
+                elif ins_j.is_store:
+                    if same and not killed and ins_i.is_store:
+                        # i's value is never observed before overwrite: no
+                        # intervening may-alias load, and no branch through
+                        # which off-trace code could read memory
+                        observed = any(
+                            instrs[t].is_load
+                            and may_alias(exprs[i], exprs[t])
+                            for t in mem
+                            if i < t < j
+                        ) or any(
+                            instrs[t].is_control for t in range(i + 1, j)
+                        )
+                        if not observed and j not in to_delete:
+                            to_delete.add(i)
+                        killed = True
+                    elif may_alias(exprs[i], exprs[j]):
+                        killed = True
+                if killed and ins_i.is_load:
+                    break
+
+        if to_delete or replace_with_move:
+            new_instrs: list[Instr] = []
+            for i, ins in enumerate(instrs):
+                if i in to_delete:
+                    changed += 1
+                    continue
+                if i in replace_with_move:
+                    val = replace_with_move[i]
+                    d = ins.dest
+                    assert d is not None
+                    mv = Op.FMOV if d.is_fp else Op.MOV
+                    new_instrs.append(Instr(mv, d, (val,)))
+                    changed += 1
+                    continue
+                new_instrs.append(ins)
+            blk.instrs = new_instrs
+    return changed

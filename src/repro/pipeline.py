@@ -1,0 +1,253 @@
+"""Compilation pipeline: transformation levels and scheduling.
+
+The paper evaluates five cumulative levels (Section 3.2):
+
+=======  ==========================================================
+Conv     classical optimizations only (applied by the frontend/opt)
+Lev1     + loop unrolling (preconditioned, max 8x / body-size cap)
+Lev2     + register renaming
+Lev3     + operation combining, strength reduction, tree height red.
+Lev4     + accumulator, induction, and search variable expansion
+=======  ==========================================================
+
+``apply_ilp_transforms`` rewrites one inner loop; ``schedule_function``
+then list-schedules every block under the machine model.  The pass order
+within a level follows the dependences between the transformations:
+search expansion precedes renaming (it matches original names), the
+other expansions run on renamed code, and the arithmetic transformations
+run last so they see the expanded dependence structure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .analysis.liveness import liveness
+from .analysis.loopvars import CountedLoop
+from .ir.function import Function
+from .ir.loop import find_loops
+from .ir.operands import Reg
+from .ir.verify import verify_function
+from .machine import MachineConfig
+from .schedule.listsched import Schedule, list_schedule
+from .schedule.superblock import SuperblockLoop, form_superblock
+from .transforms.accumulate import expand_accumulators
+from .transforms.combine import combine_operations
+from .transforms.induction import expand_inductions
+from .transforms.rename import rename_superblock
+from .transforms.search import expand_search_variables
+from .transforms.strength import reduce_strength
+from .transforms.treeheight import reduce_tree_height
+from .transforms.unroll import choose_unroll_factor, unroll_counted
+
+
+class Level(enum.IntEnum):
+    """Cumulative transformation levels of the paper."""
+
+    CONV = 0
+    LEV1 = 1
+    LEV2 = 2
+    LEV3 = 3
+    LEV4 = 4
+
+    @property
+    def label(self) -> str:
+        return {0: "Conv", 1: "Lev1", 2: "Lev2", 3: "Lev3", 4: "Lev4"}[int(self)]
+
+
+ALL_LEVELS = list(Level)
+
+
+@dataclass
+class TransformReport:
+    """What fired while transforming one loop (for tests/diagnostics)."""
+
+    unroll_factor: int = 1
+    renamed: int = 0
+    inductions: int = 0
+    accumulators: int = 0
+    searches: int = 0
+    combined: int = 0
+    reduced: int = 0
+    trees: int = 0
+
+
+def _find_loop(func: Function, header: str):
+    for l in find_loops(func):
+        if l.header == header:
+            return l
+    raise ValueError(f"loop {header!r} not found in {func.name}")
+
+
+def protected_registers(sb: SuperblockLoop, live_out_exit: set[Reg]) -> set[Reg]:
+    """Registers observable outside the superblock body: live at any side
+    exit target, around the backedge, or at the natural exit.  The
+    arithmetic transformations must not absorb definitions of these."""
+    lv = liveness(sb.func, live_out_exit)
+    prot: set[Reg] = set(lv.live_in.get(sb.header, set()))
+    if sb.exit_block is not None:
+        prot |= lv.live_in.get(sb.exit_block.label, set())
+    for pos in sb.side_exit_positions():
+        ins = sb.body.instrs[pos]
+        if ins.target is not None:
+            prot |= lv.live_in.get(ins.target.name, set())
+    return prot
+
+
+def apply_ilp_transforms(
+    func: Function,
+    counted: CountedLoop,
+    level: Level,
+    machine: MachineConfig,
+    live_out_exit: set[Reg] | None = None,
+    unroll_factor: int | None = None,
+    thr_unit_latency: bool = False,
+) -> tuple[SuperblockLoop, TransformReport]:
+    """Transform the inner loop described by ``counted`` at ``level``.
+
+    Returns the superblock descriptor and a report of what fired.  The
+    function is verified after transformation.
+    """
+    live_out_exit = live_out_exit or set()
+    report = TransformReport()
+
+    if level >= Level.LEV1:
+        loop = _find_loop(func, counted.header)
+        size = sum(len(func.get_block(lab).instrs) for lab in loop.blocks)
+        factor = unroll_factor if unroll_factor is not None else choose_unroll_factor(size)
+        counted = unroll_counted(func, loop, counted, factor)
+        report.unroll_factor = factor
+
+    loop = _find_loop(func, counted.header)
+    sb = form_superblock(func, loop, counted)
+
+    # Profitability: the expansion transformations pay compensation code on
+    # every side exit taken (and re-initialization on every rejoin).  With
+    # profile information a production compiler applies them only when the
+    # off-trace paths are cold; we use the branch probabilities the same
+    # way.  Loops without side exits (33 of the 40) are unaffected.
+    exit_probs = [
+        sb.body.instrs[q].prob if sb.body.instrs[q].prob is not None else 0.5
+        for q in sb.side_exit_positions()
+    ]
+    expansions_profitable = all(p <= 0.25 for p in exit_probs)
+
+    if level >= Level.LEV4 and expansions_profitable:
+        report.searches = expand_search_variables(sb)
+    if level >= Level.LEV2:
+        report.renamed = rename_superblock(sb, live_out_exit)
+    if level >= Level.LEV4 and expansions_profitable:
+        report.inductions = expand_inductions(sb)
+        report.accumulators = expand_accumulators(sb)
+    if level >= Level.LEV3:
+        prot = protected_registers(sb, live_out_exit)
+        report.combined = combine_operations(sb.body.instrs, prot)
+        report.reduced = reduce_strength(func, sb.body.instrs)
+        report.trees = reduce_tree_height(
+            func, sb.body.instrs, machine, prot, unit_latency=thr_unit_latency
+        )
+
+    # post-transform cleanup: fold the preconditioning arithmetic when the
+    # trip count is a compile-time constant (span/div/rem chains become
+    # constants, the remainder guard resolves, and an unnecessary
+    # precondition loop disappears entirely), then clear dead code.  These
+    # passes never move code across branches, so the superblock is safe.
+    from .ir.function import remove_unreachable
+    from .opt.constprop import fold_constant_branches, propagate_constants
+    from .opt.copyprop import propagate_copies_local
+    from .opt.dce import eliminate_dead_code
+    from .opt.redundant_mem import eliminate_redundant_memory
+
+    for _ in range(4):
+        prologues = {sb.body.label: prologue_regions(func, sb)}
+        n = propagate_constants(func)
+        n += propagate_copies_local(func)
+        # classical redundant-memory elimination re-applied to the unrolled
+        # superblock: a store forwarded to the next iteration's load turns
+        # a memory recurrence into a register recurrence
+        n += eliminate_redundant_memory(func, prologues)
+        n += fold_constant_branches(func)
+        n += remove_unreachable(func)
+        n += eliminate_dead_code(func, live_out_exit)
+        if n == 0:
+            break
+
+    func.reindex_regs()
+    verify_function(func)
+    return sb, report
+
+
+def prologue_regions(func: Function, sb: SuperblockLoop):
+    """The dominating chain into the superblock header as analysis regions.
+
+    Blocks that dominate the header and precede it in layout, grouped into
+    ``("straight", instrs)`` runs and ``("loop", instrs)`` regions for
+    intervening loops (precondition loops) that do not contain the header.
+    This lets memory disambiguation resolve address relationships
+    established before a precondition loop, with the precondition's
+    unknown pass count kept symbolic (see
+    :class:`repro.analysis.memdep.AddressAnalysis`).
+    """
+    from .ir.loop import dominators
+
+    dom = dominators(func)
+    header_doms = dom.get(sb.header, set())
+    loops = find_loops(func)
+    regions: list[tuple] = []  # (kind, key, instrs)
+    for blk in func.blocks:
+        if blk.label == sb.header:
+            break
+        if blk.label not in header_doms:
+            continue
+        containing = [
+            l for l in loops
+            if blk.label in l.blocks and sb.header not in l.blocks
+        ]
+        if containing:
+            inner = max(containing, key=lambda l: l.depth)
+            key = ("loop", inner.header)
+        else:
+            key = ("straight", None)
+        if regions and regions[-1][0] == key[0] and regions[-1][1] == key[1]:
+            regions[-1][2].extend(blk.instrs)
+        else:
+            regions.append((key[0], key[1], list(blk.instrs)))
+    return [(kind, instrs) for kind, _, instrs in regions]
+
+
+def schedule_function(
+    func: Function,
+    machine: MachineConfig,
+    live_out_exit: set[Reg] | None = None,
+    sb: SuperblockLoop | None = None,
+    doall: bool = False,
+) -> dict[str, Schedule]:
+    """List-schedule every block of ``func`` in place.
+
+    Side-exit speculation limits come from the live-in sets of branch
+    targets.  For the superblock body (``sb``), memory disambiguation sees
+    the preheader and, for DOALL loops, the cross-iteration independence
+    assertion.  Returns the per-block schedules (keyed by label).
+    """
+    lv = liveness(func, live_out_exit or set())
+    regions = prologue_regions(func, sb) if sb is not None else None
+    schedules: dict[str, Schedule] = {}
+    for blk in func.blocks:
+        if not blk.instrs:
+            continue
+        exit_live: dict[int, set[Reg]] = {}
+        for i, ins in enumerate(blk.instrs):
+            if ins.is_control and ins.target is not None:
+                exit_live[i] = lv.live_in.get(ins.target.name, set())
+        is_body = sb is not None and blk is sb.body
+        sched = list_schedule(
+            blk.instrs,
+            machine,
+            exit_live,
+            prologue=regions if is_body else None,
+            doall=doall and is_body,
+        )
+        blk.instrs = sched.order
+        schedules[blk.label] = sched
+    return schedules

@@ -1,0 +1,9 @@
+"""repro.regalloc — register usage measurement (interference + coloring)."""
+
+from .interference import InterferenceGraph, build_interference
+from .coloring import RegisterUsage, color_class, measure_register_usage
+
+__all__ = [
+    "InterferenceGraph", "build_interference",
+    "RegisterUsage", "color_class", "measure_register_usage",
+]

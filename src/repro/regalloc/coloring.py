@@ -1,0 +1,65 @@
+"""Greedy graph coloring and register-usage measurement.
+
+Chaitin-style simplification order (repeatedly remove the minimum-degree
+node, color in reverse) with first-fit color choice.  With an unbounded
+color supply this never spills; the number of colors used per register
+class is the paper's "registers utilized" statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.function import Function
+from ..ir.operands import Reg, RegClass
+from .interference import InterferenceGraph, build_interference
+
+
+def color_class(g: InterferenceGraph, cls: RegClass) -> dict[Reg, int]:
+    nodes = sorted(g.of_class(cls), key=lambda r: r.id)
+    if not nodes:
+        return {}
+    # simplification stack: repeatedly remove min-degree node
+    degree = {r: sum(1 for n in g.adj[r] if n.cls is cls) for r in nodes}
+    removed: set[Reg] = set()
+    stack: list[Reg] = []
+    work = set(nodes)
+    while work:
+        r = min(work, key=lambda x: (degree[x], x.id))
+        work.discard(r)
+        removed.add(r)
+        stack.append(r)
+        for n in g.adj[r]:
+            if n.cls is cls and n not in removed:
+                degree[n] -= 1
+    colors: dict[Reg, int] = {}
+    for r in reversed(stack):
+        used = {colors[n] for n in g.adj[r] if n in colors}
+        c = 0
+        while c in used:
+            c += 1
+        colors[r] = c
+    return colors
+
+
+@dataclass
+class RegisterUsage:
+    """Registers utilized by a compiled function, per class and total."""
+
+    int_regs: int
+    fp_regs: int
+
+    @property
+    def total(self) -> int:
+        return self.int_regs + self.fp_regs
+
+
+def measure_register_usage(
+    func: Function, live_out_exit: set[Reg] | None = None
+) -> RegisterUsage:
+    g = build_interference(func, live_out_exit)
+    ints = color_class(g, RegClass.INT)
+    fps = color_class(g, RegClass.FP)
+    n_int = (max(ints.values()) + 1) if ints else 0
+    n_fp = (max(fps.values()) + 1) if fps else 0
+    return RegisterUsage(n_int, n_fp)

@@ -1,0 +1,84 @@
+"""Interference graph construction over a whole function.
+
+The modeled processor has an unlimited register file, but the paper's
+register allocator "attempts to utilize the least number of registers
+required for a given loop.  Therefore, registers are reused as soon as
+they become available."  We measure that number by building the
+interference graph of the final (scheduled) code and coloring it greedily:
+two virtual registers interfere when one is defined at a point where the
+other is live.
+
+Registers live into the function (workload inputs) are treated as defined
+at entry, so they interfere with each other and with anything live across
+their range.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..analysis.liveness import liveness
+from ..ir.function import Function
+from ..ir.operands import Reg, RegClass
+
+
+@dataclass
+class InterferenceGraph:
+    adj: dict[Reg, set[Reg]] = field(default_factory=lambda: defaultdict(set))
+    nodes: set[Reg] = field(default_factory=set)
+
+    def add_node(self, r: Reg) -> None:
+        self.nodes.add(r)
+        self.adj.setdefault(r, set())
+
+    def add_edge(self, a: Reg, b: Reg) -> None:
+        if a == b or a.cls is not b.cls:
+            return
+        self.add_node(a)
+        self.add_node(b)
+        self.adj[a].add(b)
+        self.adj[b].add(a)
+
+    def degree(self, r: Reg) -> int:
+        return len(self.adj.get(r, ()))
+
+    def of_class(self, cls: RegClass) -> list[Reg]:
+        return [r for r in self.nodes if r.cls is cls]
+
+
+def build_interference(
+    func: Function, live_out_exit: set[Reg] | None = None
+) -> InterferenceGraph:
+    live_out_exit = live_out_exit or set()
+    lv = liveness(func, live_out_exit)
+    g = InterferenceGraph()
+
+    for ins in func.iter_instrs():
+        for r in ins.reg_uses():
+            g.add_node(r)
+        for r in ins.reg_defs():
+            g.add_node(r)
+
+    for blk in func.blocks:
+        live = set(lv.live_out[blk.label])
+        for ins in reversed(blk.instrs):
+            d = ins.dest
+            if d is not None:
+                for other in live:
+                    if other != d:
+                        g.add_edge(d, other)
+                live.discard(d)
+            for r in ins.reg_uses():
+                live.add(r)
+
+    # function inputs: live-in registers of the entry block are all defined
+    # "before" the program and therefore mutually interfere
+    entry_live = lv.live_in.get(func.entry.label, set())
+    for a in entry_live:
+        for b in entry_live:
+            g.add_edge(a, b)
+        # and with everything live wherever they remain live: covered by the
+        # def-point rule for other registers; between two never-defined
+        # registers the entry clique is what accounts for them
+    return g

@@ -1,0 +1,211 @@
+"""Software-pipelining bounds: the study the paper deferred.
+
+    "Software pipelining is an effective scheduling method to overlap the
+    execution of loop iterations ... These methods also benefit from
+    dependence elimination but the effect of the transformations on these
+    methods is not evaluated in this study."  (paper, Section 1.1)
+
+This module evaluates it.  For a superblock loop body we compute the
+classical modulo-scheduling lower bounds on the initiation interval (II):
+
+* **ResMII** — resource bound: instructions per iteration divided by the
+  issue width, and branches per iteration against the single branch slot;
+* **RecMII** — recurrence bound: the maximum over dependence cycles of
+  (total latency / total iteration distance), over a graph containing the
+  intra-iteration dependences plus the cross-iteration (loop-carried)
+  register and memory dependences.
+
+``MII = max(ResMII, RecMII)`` is what an ideal modulo scheduler could
+reach; comparing it with the initiation interval our acyclic superblock
+schedule actually achieves quantifies (a) how much headroom software
+pipelining would add, and (b) how the paper's transformations shrink
+RecMII — accumulator expansion literally divides a reduction's recurrence
+latency by the unroll factor.
+
+RecMII is computed exactly by binary search on integer II with a
+positive-cycle test (Bellman-Ford style relaxation on edge weights
+``latency - II * distance``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..analysis.depgraph import build_depgraph
+from ..analysis.memdep import AddressAnalysis
+from ..ir.instructions import Instr, Kind
+from ..ir.operands import Reg
+from ..machine import MachineConfig
+
+
+@dataclass
+class PipelineBounds:
+    """Modulo-scheduling bounds for one loop body (one unrolled pass)."""
+
+    res_mii: int
+    rec_mii: int
+    n_instrs: int
+    #: iterations represented by the body (the unroll factor)
+    iterations: int
+
+    @property
+    def mii(self) -> int:
+        return max(self.res_mii, self.rec_mii, 1)
+
+    @property
+    def mii_per_iteration(self) -> float:
+        return self.mii / self.iterations
+
+
+@dataclass
+class _Edge:
+    src: int
+    dst: int
+    latency: int
+    distance: int  # iterations crossed (0 = same pass)
+
+
+def _cross_register_edges(body: list[Instr], machine: MachineConfig) -> list[_Edge]:
+    """Loop-carried register flow: the last definition of a register feeds
+    next pass's uses that appear before any definition (upward-exposed)."""
+    first_def: dict[Reg, int] = {}
+    last_def: dict[Reg, int] = {}
+    for i, ins in enumerate(body):
+        d = ins.dest
+        if d is not None:
+            first_def.setdefault(d, i)
+            last_def[d] = i
+    edges: list[_Edge] = []
+    for j, ins in enumerate(body):
+        for r in ins.reg_uses():
+            if r in last_def and j <= first_def.get(r, -1):
+                i = last_def[r]
+                edges.append(_Edge(i, j, machine.latency(body[i].op), 1))
+    return edges
+
+
+def _cross_memory_edges(
+    body: list[Instr],
+    machine: MachineConfig,
+    prologue: list[Instr] | None,
+) -> list[_Edge]:
+    """Loop-carried memory dependences with their iteration distances.
+
+    An address in a counted loop advances by a constant per pass (the
+    symbolic ``('pass', '#imm')`` term of the resolved expression).  Two
+    accesses at ``base + c1 + p*adv`` and ``base + c2 + p*adv`` collide
+    across ``d = (c1 - c2) / adv`` passes; unresolvable pairs are assumed
+    to collide at distance 1 (conservative for RecMII).
+    """
+    mem = [i for i, ins in enumerate(body) if ins.is_mem]
+    if not mem:
+        return []
+    aa = AddressAnalysis(body, prologue)
+    exprs = {i: aa.address_expr(i) for i in mem}
+
+    def pass_advance(terms) -> tuple[int | None, tuple]:
+        adv = 0
+        rest = []
+        for k, c in terms:
+            if isinstance(k, tuple) and k and k[0] == "pass":
+                if k[1] == "#imm":
+                    adv = c
+                else:
+                    return None, ()  # register-stride advance: unknown
+            else:
+                rest.append((k, c))
+        return adv, tuple(rest)
+
+    edges: list[_Edge] = []
+    for a in mem:
+        for b in mem:
+            if a == b:
+                continue
+            ia, ib = body[a], body[b]
+            if not (ia.is_store or ib.is_store):
+                continue
+            ea, eb = exprs[a], exprs[b]
+            adv_a, rest_a = pass_advance(ea.terms)
+            adv_b, rest_b = pass_advance(eb.terms)
+            lat = machine.latency(ia.op)
+            if adv_a is None or adv_b is None or rest_a != rest_b or adv_a != adv_b:
+                # unknown relation: conservative distance-1 collision
+                edges.append(_Edge(a, b, lat, 1))
+                continue
+            if adv_a == 0:
+                if ea.const == eb.const:
+                    edges.append(_Edge(a, b, lat, 1))
+                continue
+            # a's access at pass p hits b's at pass p+d: d = (c_a - c_b)/adv
+            delta = ea.const - eb.const
+            if delta % adv_a == 0:
+                d = delta // adv_a
+                if d >= 1:
+                    edges.append(_Edge(a, b, lat, d))
+    return edges
+
+
+def _has_positive_cycle(n: int, edges: list[_Edge], ii: int) -> bool:
+    """Is there a cycle with total (latency - ii*distance) > 0?"""
+    dist = [0.0] * n
+    # Bellman-Ford with n rounds; a further improving round implies a
+    # positive cycle under 'longest path' relaxation
+    for round_ in range(n + 1):
+        changed = False
+        for e in edges:
+            w = e.latency - ii * e.distance
+            if dist[e.src] + w > dist[e.dst]:
+                dist[e.dst] = dist[e.src] + w
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def compute_bounds(
+    body: list[Instr],
+    machine: MachineConfig,
+    iterations: int = 1,
+    prologue: list[Instr] | None = None,
+    doall: bool = False,
+) -> PipelineBounds:
+    """Modulo-scheduling lower bounds for one superblock body.
+
+    ``iterations`` is the unroll factor the body represents; ``doall``
+    suppresses cross-iteration memory dependences (the KAP classification,
+    exactly as the scheduler uses it).
+    """
+    n = len(body)
+    width = machine.issue_width if machine.issue_width > 0 else 1 << 30
+    n_branch = sum(1 for ins in body if ins.kind is Kind.BRANCH)
+    res_mii = max(
+        math.ceil(n / width),
+        math.ceil(n_branch / machine.branch_slots),
+        1,
+    )
+
+    g = build_depgraph(body, machine, prologue=prologue, doall=doall)
+    edges = [
+        _Edge(i, j, w, 0)
+        for i in range(n)
+        for j, w in g.succs[i]
+    ]
+    edges.extend(_cross_register_edges(body, machine))
+    if not doall:
+        edges.extend(_cross_memory_edges(body, machine, prologue))
+
+    # binary search the smallest integer II with no positive cycle
+    lo, hi = 1, max((e.latency for e in edges), default=1) * max(n, 1)
+    cyclic = [e for e in edges if e.distance >= 1]
+    if not cyclic:
+        rec_mii = 1
+    else:
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if _has_positive_cycle(n, edges, mid):
+                lo = mid + 1
+            else:
+                hi = mid
+        rec_mii = lo
+    return PipelineBounds(res_mii, rec_mii, n, iterations)

@@ -1,0 +1,178 @@
+"""Compilation of IR instructions into a fast internal form for simulation.
+
+The simulator executes millions of dynamic instructions, so each IR
+instruction is pre-lowered once into a :class:`CompiledInstr` with:
+
+* resolved source fetch descriptors (register bank + id, or literal value,
+  with symbols resolved against the memory's symbol table);
+* a destination slot;
+* the machine latency;
+* a small semantic function.
+
+Integer semantics are paper-era FORTRAN/C: division and remainder truncate
+toward zero; shifts are arithmetic (``shra``) or 64-bit logical (``shrl``).
+Floating point is IEEE double.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..ir.block import Block
+from ..ir.function import Function
+from ..ir.instructions import Instr, Kind, Op
+from ..ir.operands import FImm, Imm, Reg, RegClass, Sym
+from ..machine import MachineConfig
+
+# source/dest bank tags
+INT_BANK = 0
+FP_BANK = 1
+CONST = 2
+
+_MASK64 = (1 << 64) - 1
+
+
+def _idiv(a: int, b: int) -> int:
+    """Truncating integer division (toward zero)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _irem(a: int, b: int) -> int:
+    return a - b * _idiv(a, b)
+
+
+_ALU2 = {
+    Op.ADD: lambda a, b: a + b,
+    Op.SUB: lambda a, b: a - b,
+    Op.MUL: lambda a, b: a * b,
+    Op.DIV: _idiv,
+    Op.REM: _irem,
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.XOR: lambda a, b: a ^ b,
+    Op.SHL: lambda a, b: a << b,
+    Op.SHRA: lambda a, b: a >> b,
+    Op.SHRL: lambda a, b: (a & _MASK64) >> b,
+    Op.FADD: lambda a, b: a + b,
+    Op.FSUB: lambda a, b: a - b,
+    Op.FMUL: lambda a, b: a * b,
+    Op.FDIV: lambda a, b: a / b,
+}
+
+_CMP = {
+    Op.BLT: lambda a, b: a < b,
+    Op.BLE: lambda a, b: a <= b,
+    Op.BGT: lambda a, b: a > b,
+    Op.BGE: lambda a, b: a >= b,
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.FBLT: lambda a, b: a < b,
+    Op.FBLE: lambda a, b: a <= b,
+    Op.FBGT: lambda a, b: a > b,
+    Op.FBGE: lambda a, b: a >= b,
+    Op.FBEQ: lambda a, b: a == b,
+    Op.FBNE: lambda a, b: a != b,
+}
+
+# instruction categories for the simulator's dispatch
+C_ALU = 0
+C_LOAD = 1
+C_STORE = 2
+C_BRANCH = 3
+C_JUMP = 4
+C_NOP = 5
+C_HALT = 6
+
+
+@dataclass(eq=False)
+class CompiledInstr:
+    """One instruction pre-lowered for the cycle loop."""
+
+    __slots__ = ("cat", "fn", "srcs", "dest", "lat", "kind", "target", "instr")
+
+    cat: int
+    fn: object  # semantic callable, or None
+    srcs: tuple  # ((bank, key_or_value), ...)
+    dest: tuple | None  # (bank, id)
+    lat: int
+    kind: Kind
+    target: str | None
+    instr: Instr  # original, for tracing / errors
+
+
+def _fetch_desc(operand, symbols: dict[str, int]):
+    if isinstance(operand, Reg):
+        bank = INT_BANK if operand.cls is RegClass.INT else FP_BANK
+        return (bank, operand.id)
+    if isinstance(operand, Imm):
+        return (CONST, operand.value)
+    if isinstance(operand, FImm):
+        return (CONST, operand.value)
+    if isinstance(operand, Sym):
+        try:
+            return (CONST, symbols[operand.name])
+        except KeyError:
+            raise KeyError(f"unresolved symbol {operand.name!r}") from None
+    raise TypeError(f"bad operand {operand!r}")
+
+
+def compile_instr(ins: Instr, machine: MachineConfig, symbols: dict[str, int]) -> CompiledInstr:
+    op = ins.op
+    kind = ins.kind
+    lat = machine.latency(op)
+    srcs = tuple(_fetch_desc(s, symbols) for s in ins.srcs)
+    dest = None
+    if ins.dest is not None:
+        dest = (INT_BANK if ins.dest.cls is RegClass.INT else FP_BANK, ins.dest.id)
+
+    if op in _ALU2:
+        return CompiledInstr(C_ALU, _ALU2[op], srcs, dest, lat, kind, None, ins)
+    if op in (Op.MOV, Op.FMOV):
+        return CompiledInstr(C_ALU, lambda a: a, srcs, dest, lat, kind, None, ins)
+    if op is Op.ITOF:
+        return CompiledInstr(C_ALU, float, srcs, dest, lat, kind, None, ins)
+    if op is Op.FTOI:
+        return CompiledInstr(C_ALU, lambda a: math.trunc(a), srcs, dest, lat, kind, None, ins)
+    if kind is Kind.LOAD:
+        return CompiledInstr(C_LOAD, None, srcs, dest, lat, kind, None, ins)
+    if kind is Kind.STORE:
+        return CompiledInstr(C_STORE, None, srcs, None, lat, kind, None, ins)
+    if kind is Kind.BRANCH:
+        assert ins.target is not None
+        return CompiledInstr(C_BRANCH, _CMP[op], srcs, None, lat, kind, ins.target.name, ins)
+    if op is Op.JMP:
+        assert ins.target is not None
+        return CompiledInstr(C_JUMP, None, (), None, lat, kind, ins.target.name, ins)
+    if op is Op.HALT:
+        return CompiledInstr(C_HALT, None, (), None, lat, kind, None, ins)
+    if op is Op.NOP:
+        return CompiledInstr(C_NOP, None, (), None, lat, kind, None, ins)
+    raise AssertionError(f"unhandled opcode {op}")
+
+
+@dataclass(eq=False)
+class CompiledBlock:
+    label: str
+    code: list[CompiledInstr]
+    #: index of the next block in layout order (fall-through), or None
+    next_index: int | None
+
+
+class CompiledProgram:
+    """A function lowered for simulation against a given machine + symtab."""
+
+    def __init__(self, func: Function, machine: MachineConfig, symbols: dict[str, int]):
+        self.func = func
+        self.machine = machine
+        self.blocks: list[CompiledBlock] = []
+        self.index: dict[str, int] = {}
+        for i, blk in enumerate(func.blocks):
+            self.index[blk.label] = i
+        for i, blk in enumerate(func.blocks):
+            code = [compile_instr(ins, machine, symbols) for ins in blk.instrs]
+            nxt = i + 1 if i + 1 < len(func.blocks) else None
+            self.blocks.append(CompiledBlock(blk.label, code, nxt))
+        # resolve branch targets to block indices up front
+        self.target_index: dict[str, int] = dict(self.index)

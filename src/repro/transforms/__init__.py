@@ -1,0 +1,23 @@
+"""repro.transforms — the paper's eight ILP-increasing transformations."""
+
+from .unroll import MAX_BODY_INSTRS, MAX_UNROLL, UnrollError, choose_unroll_factor, unroll_counted
+from .rename import rename_superblock
+from .accumulate import expand_accumulators
+from .induction import InductionChain, expand_inductions, find_induction_chains
+from .search import expand_search_variables
+from .combine import combine_operations
+from .strength import reduce_strength
+from .treeheight import find_trees, reduce_tree_height
+from .compensation import add_side_exit_stub, ensure_halt_terminated, insert_rejoin_reinit
+
+__all__ = [
+    "MAX_BODY_INSTRS", "MAX_UNROLL", "UnrollError", "choose_unroll_factor", "unroll_counted",
+    "rename_superblock",
+    "expand_accumulators",
+    "InductionChain", "expand_inductions", "find_induction_chains",
+    "expand_search_variables",
+    "combine_operations",
+    "reduce_strength",
+    "find_trees", "reduce_tree_height",
+    "add_side_exit_stub", "ensure_halt_terminated", "insert_rejoin_reinit",
+]

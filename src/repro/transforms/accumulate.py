@@ -1,0 +1,96 @@
+"""Accumulator variable expansion (paper, Figure 2 / Figure 3).
+
+Implements the Figure 2 algorithm on a superblock body: a register whose
+every definition is an increment/decrement (or multiplicative update) and
+which is referenced only by those updates is split into k temporary
+accumulators, one per update; the temporaries are summed back into the
+original register at every loop exit.
+
+This transformation reassociates the reduction, which is exactly the
+paper's intent (it changes floating-point rounding; the workloads tolerate
+that, as the benchmark suite's checkers do).
+"""
+
+from __future__ import annotations
+
+from ..analysis.loopvars import AccumulatorInfo, find_accumulators
+from ..ir.function import Function
+from ..ir.instructions import Instr, Op
+from ..ir.operands import FImm, Imm, Reg
+from ..schedule.superblock import SuperblockLoop
+from .compensation import add_side_exit_stub, insert_rejoin_reinit
+
+
+def _identity_const(reg: Reg, kind: str):
+    if reg.is_fp:
+        return FImm(0.0 if kind == "add" else 1.0)
+    return Imm(0 if kind == "add" else 1)
+
+
+def _mov(reg: Reg, src) -> Instr:
+    return Instr(Op.FMOV if reg.is_fp else Op.MOV, reg, (src,))
+
+
+def _combine_op(reg: Reg, kind: str) -> Op:
+    if kind == "add":
+        return Op.FADD if reg.is_fp else Op.ADD
+    return Op.FMUL if reg.is_fp else Op.MUL
+
+
+def _combine_chain(dest: Reg, temps: list[Reg], kind: str) -> list[Instr]:
+    """dest = temps[0] op temps[1] op ... as a serial chain."""
+    op = _combine_op(dest, kind)
+    out = [Instr(op, dest, (temps[0], temps[1]))]
+    for t in temps[2:]:
+        out.append(Instr(op, dest, (dest, t)))
+    return out
+
+
+def expand_accumulators(sb: SuperblockLoop) -> int:
+    """Apply accumulator expansion to every candidate; returns the count."""
+    func = sb.func
+    body = sb.body.instrs
+    accs = find_accumulators(body)
+    if not accs:
+        return 0
+
+    init_code: list[Instr] = []       # preheader + rejoin re-init
+    exit_code: list[Instr] = []       # natural-exit combine
+    all_temps: dict[Reg, tuple[list[Reg], str]] = {}
+
+    for acc in accs:
+        k = len(acc.updates)
+        temps = [func.new_reg(acc.reg.cls) for _ in range(k)]
+        all_temps[acc.reg] = (temps, acc.kind)
+        # step 3 of Figure 2: first temp takes V's value, the rest identity
+        init_code.append(_mov(temps[0], acc.reg))
+        ident = _identity_const(acc.reg, acc.kind)
+        for t in temps[1:]:
+            init_code.append(_mov(t, ident))
+        # step 4: each update uses its own temporary
+        for t, pos in zip(temps, acc.updates):
+            ins = body[pos]
+            ins.replace_uses({acc.reg: t})
+            ins.dest = t
+        # step 5: summation at loop exits
+        exit_code.extend(_combine_chain(acc.reg, temps, acc.kind))
+
+    sb.preheader.extend([i.copy() for i in init_code])
+    assert sb.exit_block is not None
+    for kk, ins in enumerate(exit_code):
+        sb.exit_block.insert(kk, ins.copy())
+
+    # side exits leave mid-body: the original accumulator must be
+    # re-materialized as the sum of the temporaries
+    for pos in sb.side_exit_positions():
+        br = body[pos]
+        comp: list[Instr] = []
+        for reg, (temps, kind) in all_temps.items():
+            comp.extend(_combine_chain(reg, temps, kind))
+        add_side_exit_stub(func, br, comp, sb.offtrace, hint="acc")
+
+    # off-trace rejoins: re-split the accumulator into the temporaries
+    insert_rejoin_reinit(
+        func, sb.header, sb.body, lambda: [i.copy() for i in init_code]
+    )
+    return len(accs)

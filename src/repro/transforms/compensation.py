@@ -1,0 +1,86 @@
+"""Side-exit compensation and rejoin re-initialization for superblock
+transformations.
+
+Renaming and the expansion transformations rewrite only the superblock.
+Off-trace code (duplicated tails, unlikely arms) still uses the original
+register names, so:
+
+* when a **side exit** is taken, the original registers must be
+  re-materialized from the transformed state — a *stub block* with the
+  compensation assignments is spliced onto the exit edge;
+* when off-trace code **rejoins** the loop header, the superblock's
+  expanded state (temporary accumulators / induction registers) must be
+  re-established — re-initialization code is inserted just before each
+  branch back to the header.
+
+Stubs execute only on the rarely-taken off-trace paths, mirroring the
+bookkeeping code real superblock compilers emit.
+"""
+
+from __future__ import annotations
+
+from ..ir.block import Block
+from ..ir.function import Function
+from ..ir.instructions import Instr, Op
+from ..ir.operands import Label
+
+
+def ensure_halt_terminated(func: Function) -> None:
+    """Make falling off the current last block explicit, so new blocks can
+    be appended without becoming reachable by fall-through."""
+    if func.blocks and func.blocks[-1].falls_through:
+        func.blocks[-1].append(Instr(Op.HALT))
+
+
+def add_side_exit_stub(
+    func: Function,
+    branch: Instr,
+    instrs: list[Instr],
+    offtrace: set[str] | None = None,
+    hint: str = "fix",
+) -> Block:
+    """Splice ``instrs`` onto the exit edge of ``branch`` via a stub block.
+
+    The stub is appended at the end of the function and ends with a jump to
+    the branch's original target, so multiple transformations stack stubs
+    in last-applied-runs-first order.
+    """
+    assert branch.target is not None
+    old_target = branch.target.name
+    ensure_halt_terminated(func)
+    stub = func.add_block(func.new_label(f"{old_target}.{hint}"))
+    stub.extend(instrs)
+    stub.append(Instr(Op.JMP, target=Label(old_target)))
+    branch.target = Label(stub.label)
+    if offtrace is not None:
+        offtrace.add(stub.label)
+    return stub
+
+
+def rejoin_branches(func: Function, header: str, body: Block) -> list[tuple[Block, Instr]]:
+    """All control instructions outside ``body`` that target ``header`` —
+    the off-trace rejoin edges."""
+    out: list[tuple[Block, Instr]] = []
+    for blk in func.blocks:
+        if blk is body:
+            continue
+        for ins in blk.instrs:
+            if ins.is_control and ins.target is not None and ins.target.name == header:
+                out.append((blk, ins))
+    return out
+
+
+def insert_rejoin_reinit(
+    func: Function, header: str, body: Block, make_instrs
+) -> int:
+    """Insert re-initialization code before every rejoin branch.
+
+    ``make_instrs()`` is called once per rejoin edge and must return fresh
+    instruction objects.  Returns the number of edges patched.
+    """
+    edges = rejoin_branches(func, header, body)
+    for blk, br in edges:
+        idx = blk.instrs.index(br)
+        for k, ins in enumerate(make_instrs()):
+            blk.insert(idx + k, ins)
+    return len(edges)

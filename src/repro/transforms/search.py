@@ -1,0 +1,146 @@
+"""Search variable expansion (paper, Section 2).
+
+A search variable holds a running maximum or minimum, updated through a
+compare-and-branch idiom.  Within an unrolled superblock the chain of
+tests/updates defines a critical path; this pass gives each unrolled copy
+its own temporary search variable and combines them at loop exits::
+
+    fble (x1 V) SKIP1          fble (x1 t1) SKIP1
+    V = x1                     t1 = x1
+    fble (x2 V) SKIP2    =>    fble (x2 t2) SKIP2
+    V = x2                     t2 = x2
+    ...                        (exits: V = combine(t1, t2, ...))
+
+Each temporary sees only every k-th element, so the tests become
+independent; the combined result is unchanged (max/min is insensitive to
+partitioning).  Runs *before* register renaming, on original names.
+
+The exit combine is itself a compare-and-update chain, emitted as a block
+ladder on the natural exit path and in side-exit stubs::
+
+    entry:   V = t1
+    rung2:   fble (t2 V) rung3     # keep V if t2 does not beat it
+             V = t2
+    rung3:   ...
+    end:     (jmp <continuation> | fall through)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.loopvars import SearchInfo, find_search_variables
+from ..ir.block import Block
+from ..ir.function import Function
+from ..ir.instructions import Instr, Op
+from ..ir.operands import Label, Reg
+from ..schedule.superblock import SuperblockLoop
+from .compensation import ensure_halt_terminated, insert_rejoin_reinit
+
+
+def _mov(reg: Reg, src) -> Instr:
+    return Instr(Op.FMOV if reg.is_fp else Op.MOV, reg, (src,))
+
+
+@dataclass
+class _Expanded:
+    info: SearchInfo
+    temps: list[Reg]
+    #: branch opcode and V-operand position of the guard (taken = keep V)
+    keep_op: Op
+    v_first: bool
+
+
+def _keep_branch(e: _Expanded, cand: Reg, target: str) -> Instr:
+    srcs = (e.info.reg, cand) if e.v_first else (cand, e.info.reg)
+    return Instr(e.keep_op, srcs=srcs, target=Label(target), prob=0.5)
+
+
+def _build_combine_blocks(
+    func: Function, expanded: list[_Expanded], hint: str
+) -> list[Block]:
+    """Detached block chain computing ``V = combine(temps)`` for every
+    expanded variable.  First block is the entry; last block falls through
+    (the caller appends a jump if needed).  Consecutive blocks rely on
+    layout fall-through, so they must be inserted contiguously."""
+    blocks = [Block(func.new_label(f"{hint}.cmb"))]
+    for e in expanded:
+        blocks[-1].append(_mov(e.info.reg, e.temps[0]))
+        for t in e.temps[1:]:
+            nxt = Block(func.new_label(f"{hint}.cmb"))
+            blocks[-1].append(_keep_branch(e, t, nxt.label))
+            blocks[-1].append(_mov(e.info.reg, t))
+            blocks.append(nxt)
+    return blocks
+
+
+def expand_search_variables(sb: SuperblockLoop) -> int:
+    """Apply search variable expansion; returns the number of variables
+    expanded."""
+    func = sb.func
+    body = sb.body.instrs
+    infos = find_search_variables(body)
+    # require that V is read only by the guarding compare branches
+    filtered: list[SearchInfo] = []
+    for info in infos:
+        cmp_positions = {b for b, _ in info.pairs}
+        if all(
+            info.reg not in set(ins.reg_uses()) or i in cmp_positions
+            for i, ins in enumerate(body)
+        ):
+            filtered.append(info)
+    if not filtered:
+        return 0
+
+    init_code: list[Instr] = []
+    expanded: list[_Expanded] = []
+    for info in filtered:
+        k = len(info.pairs)
+        temps = [func.new_reg(info.reg.cls) for _ in range(k)]
+        guard = body[info.pairs[0][0]]
+        v_first = isinstance(guard.srcs[0], Reg) and guard.srcs[0] == info.reg
+        e = _Expanded(info, temps, guard.op, v_first)
+        for t in temps:
+            init_code.append(_mov(t, info.reg))
+        for t, (bpos, upos) in zip(temps, info.pairs):
+            body[bpos].replace_uses({info.reg: t})
+            body[upos].dest = t
+        expanded.append(e)
+
+    sb.preheader.extend([i.copy() for i in init_code])
+
+    # ---- natural-exit combine -------------------------------------------
+    assert sb.exit_block is not None
+    exit_blk = sb.exit_block
+    trailing_jmp = None
+    if exit_blk.instrs and exit_blk.instrs[-1].op is Op.JMP:
+        trailing_jmp = exit_blk.instrs.pop()
+    chain = _build_combine_blocks(func, expanded, exit_blk.label)
+    # first chain block's content merges into the exit block itself
+    exit_blk.extend(chain[0].instrs)
+    insert_at = func.block_index(exit_blk.label) + 1
+    for blk in chain[1:]:
+        func.blocks.insert(insert_at, blk)
+        insert_at += 1
+    if trailing_jmp is not None:
+        (chain[-1] if len(chain) > 1 else exit_blk).append(trailing_jmp)
+
+    # ---- side exits: V = combine(temps) in a stub ladder ------------------
+    for pos in sb.side_exit_positions():
+        br = body[pos]
+        if br.target is None:
+            continue
+        old_target = br.target.name
+        ensure_halt_terminated(func)
+        chain = _build_combine_blocks(func, expanded, f"{old_target}.sx")
+        chain[-1].append(Instr(Op.JMP, target=Label(old_target)))
+        for blk in chain:
+            func.blocks.append(blk)
+            sb.offtrace.add(blk.label)
+        br.target = Label(chain[0].label)
+
+    # ---- rejoins: re-split temps from V ------------------------------------
+    insert_rejoin_reinit(
+        func, sb.header, sb.body, lambda: [i.copy() for i in init_code]
+    )
+    return len(expanded)

@@ -1,0 +1,147 @@
+"""Strength reduction of integer multiply/divide/remainder by constants
+(paper, Section 2).
+
+    "In many existing compilers, integer multiply by a compile-time
+    constant is replaced by a sequence of left shifts and adds. ... many of
+    the instructions generated during strength reduction are independent
+    and can be executed concurrently on a superscalar or VLIW processor.
+    ... In addition, superscalar and VLIW processors may benefit from
+    reduction of integer divide and integer remainder by a compile-time
+    constant."
+
+Policies (latency-driven, per the paper's applicability rule):
+
+* ``mul r, C`` with C a sum of at most two powers of two (or 2^k - 1):
+  shifts issue in parallel, total depth 2 < the 3-cycle multiply;
+* ``div r, 2^k``: the 4-instruction round-toward-zero sequence
+  (sign-mask, bias, add, arithmetic shift), depth 4 < the 10-cycle divide;
+* ``rem r, 2^k``: divide sequence plus ``r - (q << k)``, depth 6 < 10.
+
+Negative or zero constants are left alone.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import Instr, Op
+from ..ir.operands import Imm, Operand, Reg
+
+
+def _const_operand(ins: Instr) -> tuple[Reg, int] | None:
+    a, b = ins.srcs
+    if isinstance(a, Reg) and isinstance(b, Imm):
+        return a, b.value
+    if isinstance(b, Reg) and isinstance(a, Imm) and ins.op is Op.MUL:
+        return b, a.value
+    return None
+
+
+def _mul_decomposition(c: int) -> list[tuple[str, int]] | None:
+    """Plan for multiplying by ``c``: list of (kind, shift) where kind is
+    'add' or 'sub' of ``r << shift``.  None if not profitable."""
+    if c <= 0:
+        return None
+    bits = [k for k in range(c.bit_length()) if (c >> k) & 1]
+    if len(bits) == 1:
+        return [("add", bits[0])]
+    if len(bits) == 2:
+        return [("add", bits[0]), ("add", bits[1])]
+    # 2^k - 1 pattern: (r << k) - r
+    k = c.bit_length()
+    if c == (1 << k) - 1:
+        return [("add", k), ("sub", 0)]
+    return None
+
+
+def _emit_mul(func: Function, ins: Instr, src: Reg, c: int) -> list[Instr] | None:
+    plan = _mul_decomposition(c)
+    if plan is None:
+        return None
+    dest = ins.dest
+    assert dest is not None
+    if len(plan) == 1:
+        kind, sh = plan[0]
+        if sh == 0:
+            return [Instr(Op.MOV, dest, (src,))]
+        return [Instr(Op.SHL, dest, (src, Imm(sh)))]
+    (k1, s1), (k2, s2) = plan
+    assert k1 == "add"
+    t1 = func.new_int_reg()
+
+    def shifted(sh: int, d: Reg) -> Instr:
+        if sh == 0:
+            return Instr(Op.MOV, d, (src,))
+        return Instr(Op.SHL, d, (src, Imm(sh)))
+
+    if k2 == "add":
+        t2 = func.new_int_reg()
+        return [
+            shifted(s1, t1),
+            shifted(s2, t2),
+            Instr(Op.ADD, dest, (t1, t2)),
+        ]
+    # (r << s1) - r
+    return [shifted(s1, t1), Instr(Op.SUB, dest, (t1, src))]
+
+
+def _emit_div(func: Function, dest: Reg, src: Reg, k: int) -> list[Instr]:
+    """Round-toward-zero signed division by 2^k."""
+    sign = func.new_int_reg()
+    bias = func.new_int_reg()
+    tmp = func.new_int_reg()
+    return [
+        Instr(Op.SHRA, sign, (src, Imm(63))),          # all-ones if negative
+        Instr(Op.AND, bias, (sign, Imm((1 << k) - 1))),
+        Instr(Op.ADD, tmp, (src, bias)),
+        Instr(Op.SHRA, dest, (tmp, Imm(k))),
+    ]
+
+
+def _emit_rem(func: Function, dest: Reg, src: Reg, k: int) -> list[Instr]:
+    q = func.new_int_reg()
+    shifted = func.new_int_reg()
+    out = _emit_div(func, q, src, k)
+    out.append(Instr(Op.SHL, shifted, (q, Imm(k))))
+    out.append(Instr(Op.SUB, dest, (src, shifted)))
+    return out
+
+
+def reduce_strength(func: Function, body: list[Instr]) -> int:
+    """Apply strength reduction in place over a linear body.
+
+    Returns the number of instructions reduced.  ``body`` is mutated (one
+    instruction may expand to several).
+    """
+    count = 0
+    i = 0
+    while i < len(body):
+        ins = body[i]
+        repl: list[Instr] | None = None
+        if ins.op is Op.MUL:
+            co = _const_operand(ins)
+            if co is not None:
+                repl = _emit_mul(func, ins, co[0], co[1])
+        elif ins.op in (Op.DIV, Op.REM):
+            co = _const_operand(ins)
+            if co is not None:
+                src, c = co
+                if c > 0 and c & (c - 1) == 0:
+                    k = c.bit_length() - 1
+                    assert ins.dest is not None
+                    if k == 0:
+                        repl = (
+                            [Instr(Op.MOV, ins.dest, (src,))]
+                            if ins.op is Op.DIV
+                            else [Instr(Op.MOV, ins.dest, (Imm(0),))]
+                        )
+                    elif ins.op is Op.DIV:
+                        repl = _emit_div(func, ins.dest, src, k)
+                    else:
+                        repl = _emit_rem(func, ins.dest, src, k)
+        if repl is not None:
+            body[i:i + 1] = repl
+            i += len(repl)
+            count += 1
+        else:
+            i += 1
+    return count

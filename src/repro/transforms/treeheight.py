@@ -1,0 +1,295 @@
+"""Tree height reduction (paper, Section 2; Baer & Bovet on intermediate
+code).
+
+Arithmetic expression chains computed serially limit ILP.  This pass finds
+maximal expression trees over associative/commutative operator classes
+(+/- and */÷ in both int and fp domains, with the restrictions below),
+collects their leaves, and re-emits a balanced computation:
+
+* additive class: leaves carry signs; positives are combined pairwise,
+  the negative sum is subtracted (a tree with no positive leaf is left
+  alone);
+* multiplicative fp class: each divisor is paired with a numerator so
+  divisions run in parallel (Figure 7's ``F/G`` term), then all terms are
+  combined pairwise;
+* integer division/remainder are never reassociated (not associative).
+
+Pairing is by *earliest ready time*: the two available terms with the
+smallest completion estimates combine first, which reproduces Figure 7's
+13-cycle schedule exactly.  (The paper's own implementation assumed
+unit latencies — it notes this "limits its effectiveness"; pass
+``unit_latency=True`` to reproduce that behaviour for the ablation.)
+
+Internal nodes must be single-use and not observable elsewhere (not live
+at side exits, the backedge, or the natural exit): ``protected`` carries
+that set.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..ir.function import Function
+from ..ir.instructions import Instr, Op
+from ..ir.operands import FImm, Imm, Operand, Reg
+from ..machine import MachineConfig
+
+#: operator classes: op -> (class id, inverts_second_operand)
+_ADDITIVE = {
+    Op.FADD: ("f+", False),
+    Op.FSUB: ("f+", True),
+    Op.ADD: ("i+", False),
+    Op.SUB: ("i+", True),
+}
+_MULTIPLICATIVE = {
+    Op.FMUL: ("f*", False),
+    Op.FDIV: ("f*", True),
+    Op.MUL: ("i*", False),
+}
+
+_CLASS_OPS: dict[str, tuple[Op, Op | None]] = {
+    # class -> (combine op, inverse op or None)
+    "f+": (Op.FADD, Op.FSUB),
+    "i+": (Op.ADD, Op.SUB),
+    "f*": (Op.FMUL, Op.FDIV),
+    "i*": (Op.MUL, None),
+}
+
+
+@dataclass
+class _Tree:
+    root_pos: int
+    cls: str
+    #: (operand, inverted) leaves in source order
+    leaves: list[tuple[Operand, bool]]
+    #: positions of all internal instructions (including the root)
+    internal: list[int]
+
+
+def _op_class(op: Op) -> tuple[str, bool] | None:
+    if op in _ADDITIVE:
+        return _ADDITIVE[op]
+    if op in _MULTIPLICATIVE:
+        return _MULTIPLICATIVE[op]
+    return None
+
+
+def _flow_asap(body: list[Instr], machine: MachineConfig) -> list[int]:
+    """Cheap ASAP issue estimate using register flow dependences only."""
+    ready: dict[Reg, int] = {}
+    times: list[int] = []
+    for ins in body:
+        t = 0
+        for r in ins.reg_uses():
+            t = max(t, ready.get(r, 0))
+        times.append(t)
+        if ins.dest is not None:
+            ready[ins.dest] = t + machine.latency(ins.op)
+    return times
+
+
+def find_trees(
+    body: list[Instr], protected: set[Reg]
+) -> list[_Tree]:
+    """Maximal reassociable expression trees in the body."""
+    use_count: dict[Reg, int] = {}
+    defs: dict[Reg, list[int]] = {}
+    for i, ins in enumerate(body):
+        for r in ins.reg_uses():
+            use_count[r] = use_count.get(r, 0) + 1
+        if ins.dest is not None:
+            defs.setdefault(ins.dest, []).append(i)
+
+    def internal_ok(reg: Reg, pos: int) -> bool:
+        """May the def of ``reg`` at ``pos`` be absorbed as a tree node?"""
+        return (
+            use_count.get(reg, 0) == 1
+            and reg not in protected
+            and len(defs.get(reg, ())) == 1
+        )
+
+    consumed: set[int] = set()
+    trees: list[_Tree] = []
+    # scan bottom-up so roots are found before their subtrees
+    for i in range(len(body) - 1, -1, -1):
+        if i in consumed:
+            continue
+        ins = body[i]
+        oc = _op_class(ins.op)
+        if oc is None:
+            continue
+        cls, _ = oc
+        # i is a root if its dest is not itself absorbed into a larger tree
+        # of the same class — bottom-up scanning with `consumed` handles it
+        leaves: list[tuple[Operand, bool]] = []
+        internal: list[int] = []
+
+        def gather(pos: int, inverted: bool) -> None:
+            node = body[pos]
+            internal.append(pos)
+            node_cls, _ = _op_class(node.op)
+            a, b = node.srcs
+            for operand, inv2 in ((a, False), (b, _op_class(node.op)[1])):
+                inv = inverted ^ inv2
+                sub = None
+                if isinstance(operand, Reg) and operand in defs:
+                    dps = defs[operand]
+                    if len(dps) == 1 and dps[0] < pos and internal_ok(operand, dps[0]):
+                        cand = body[dps[0]]
+                        coc = _op_class(cand.op)
+                        if coc is not None and coc[0] == cls:
+                            # reassociating under an inverted edge is only
+                            # valid for the additive classes and fp division
+                            # chains; handled by sign propagation
+                            sub = dps[0]
+                if sub is not None:
+                    gather(sub, inv)
+                else:
+                    leaves.append((operand, inv))
+
+        gather(i, False)
+        if len(internal) < 2 or len(leaves) < 3:
+            continue
+        # self-referential trees (accumulators: dest used as leaf) are
+        # recurrences, not expressions — skip them
+        if any(
+            isinstance(op_, Reg) and op_ == ins.dest for op_, _ in leaves
+        ):
+            continue
+        if cls in ("f*", "i*") and not any(not inv for _, inv in leaves):
+            continue
+        if cls in ("f+", "i+") and not any(not inv for _, inv in leaves):
+            continue
+        trees.append(
+            _Tree(i, cls, leaves, sorted(internal))
+        )
+        consumed.update(internal)
+    return trees
+
+
+def _balance(
+    func: Function,
+    tree: _Tree,
+    leaf_ready: dict[int, int],
+    machine: MachineConfig,
+    dest: Reg,
+    unit_latency: bool,
+) -> list[Instr]:
+    """Emit the balanced computation for one tree."""
+    combine_op, inverse_op = _CLASS_OPS[tree.cls]
+    lat = 1 if unit_latency else machine.latency(combine_op)
+    inv_lat = 1 if unit_latency else (
+        machine.latency(inverse_op) if inverse_op else lat
+    )
+    out: list[Instr] = []
+
+    def fresh() -> Reg:
+        return func.new_reg(dest.cls)
+
+    # (ready_time, seq, operand) heaps for plain and inverted terms
+    seq = 0
+    plain: list[tuple[int, int, Operand]] = []
+    inverted: list[tuple[int, int, Operand]] = []
+    for idx, (operand, inv) in enumerate(tree.leaves):
+        t = leaf_ready.get(idx, 0)
+        (inverted if inv else plain).append((t, seq, operand))
+        seq += 1
+    heapq.heapify(plain)
+    heapq.heapify(inverted)
+
+    if tree.cls == "f*":
+        # pair each divisor with a numerator: term = n / d
+        # pair each divisor with the earliest-ready numerator: the division
+        # has the longest latency, so starting it as early as possible
+        # minimizes the tallest pole of the final combine (Figure 7 pairs
+        # G with F this way and reaches 13 cycles)
+        while inverted:
+            td, _, d = heapq.heappop(inverted)
+            tn, _, n = heapq.heappop(plain)
+            r = fresh()
+            out.append(Instr(Op.FDIV, r, (n, d)))
+            heapq.heappush(plain, (max(tn, td) + inv_lat, seq, r))
+            seq += 1
+    else:
+        # additive classes: balance the negative terms separately, then
+        # subtract once; multiplicative int has no inverse leaves
+        if inverted:
+            while len(inverted) > 1:
+                t1, _, a = heapq.heappop(inverted)
+                t2, _, b = heapq.heappop(inverted)
+                r = fresh()
+                out.append(Instr(combine_op, r, (a, b)))
+                heapq.heappush(inverted, (max(t1, t2) + lat, seq, r))
+                seq += 1
+
+    # balanced combine of the plain terms
+    while len(plain) > 1:
+        t1, _, a = heapq.heappop(plain)
+        t2, _, b = heapq.heappop(plain)
+        r = fresh()
+        out.append(Instr(combine_op, r, (a, b)))
+        heapq.heappush(plain, (max(t1, t2) + lat, seq, r))
+        seq += 1
+
+    t_pos, _, result = plain[0]
+    if inverted:
+        t_neg, _, neg = inverted[0]
+        assert inverse_op is not None
+        out.append(Instr(inverse_op, dest, (result, neg)))
+    else:
+        # retarget the final combine to the tree's destination
+        if out:
+            out[-1].dest = dest
+        else:  # single leaf — degenerate, should not happen (>=3 leaves)
+            mv = Op.FMOV if dest.is_fp else Op.MOV
+            out.append(Instr(mv, dest, (result,)))
+    return out
+
+
+def reduce_tree_height(
+    func: Function,
+    body: list[Instr],
+    machine: MachineConfig,
+    protected: set[Reg] = frozenset(),
+    unit_latency: bool = False,
+) -> int:
+    """Apply tree height reduction in place.  Returns trees rebalanced."""
+    trees = find_trees(body, protected)
+    if not trees:
+        return 0
+    asap = _flow_asap(body, machine)
+    reg_def: dict[Reg, list[int]] = {}
+    for i, ins in enumerate(body):
+        if ins.dest is not None:
+            reg_def.setdefault(ins.dest, []).append(i)
+
+    # Splice by instruction identity: rewriting one tree must not disturb
+    # the recorded shape of the others (trees can interleave in position).
+    replacements: dict[int, list[Instr]] = {}   # root instr id -> new code
+    deleted: set[int] = set()                   # ids of absorbed internals
+    count = 0
+    for tree in trees:
+        root = body[tree.root_pos]
+        dest = root.dest
+        assert dest is not None
+        leaf_ready: dict[int, int] = {}
+        for idx, (operand, _) in enumerate(tree.leaves):
+            if isinstance(operand, Reg):
+                dps = [p for p in reg_def.get(operand, ()) if p < tree.root_pos]
+                if dps:
+                    p = dps[-1]
+                    leaf_ready[idx] = asap[p] + machine.latency(body[p].op)
+        new_instrs = _balance(func, tree, leaf_ready, machine, dest, unit_latency)
+        replacements[id(root)] = new_instrs
+        deleted.update(id(body[p]) for p in tree.internal if p != tree.root_pos)
+        count += 1
+
+    rebuilt: list[Instr] = []
+    for ins in body:
+        if id(ins) in replacements:
+            rebuilt.extend(replacements[id(ins)])
+        elif id(ins) not in deleted:
+            rebuilt.append(ins)
+    body[:] = rebuilt
+    return count

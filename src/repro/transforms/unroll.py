@@ -1,0 +1,283 @@
+"""Loop unrolling with a preconditioning loop (paper, Section 2).
+
+    "A loop unrolled N times has N-1 copies of the loop body appended to
+    the original loop. ... If the iteration count is known on loop entry,
+    it is possible to remove many of these control transfers by using a
+    preconditioning loop to execute the first Mod N iterations.  All of
+    the loop examples used in this paper are of this type."
+
+Given a canonical counted loop (see :class:`repro.analysis.loopvars.CountedLoop`)
+with ``limit == iv0 + count * step`` exactly, this pass rewrites::
+
+    preheader:                        preheader + precondition setup:
+       ...                               span = limit - iv
+    header:                              cnt  = span / step
+       body                              rem  = cnt % N
+    latch:                               off  = rem * step
+       iv += step                        pre_limit = iv + off
+       blt (iv limit) header             beq (rem 0) main_guard
+    exit:                             pre.header:
+                                         <copy of body>
+                                         iv += step
+                                         blt (iv pre_limit) pre.header
+                                      main_guard:
+                                         bge (iv limit) exit
+                                      header:
+                                         <body copy 1 ... iv += step>   (test removed)
+                                         ...
+                                         <body copy N ... iv += step>
+                                         blt (iv limit) header
+                                      exit:
+
+The main loop then always executes a multiple of N iterations
+(``trip_multiple = N``), which is what licenses removing the intermediate
+backedge tests.  The precondition loop and guard are charged to the
+simulated cycle count, as they would be on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.loopvars import CountedLoop
+from ..ir.block import Block
+from ..ir.function import Function
+from ..ir.instructions import Instr, NEGATED_BRANCH, Op
+from ..ir.loop import Loop, ensure_preheader
+from ..ir.operands import Imm, Label, Operand, Reg
+
+#: the paper unrolls "a maximum of 8 times or until a maximum loop body
+#: size is reached, whichever limit is reached first"
+MAX_UNROLL = 8
+MAX_BODY_INSTRS = 256
+
+
+class UnrollError(RuntimeError):
+    pass
+
+
+def choose_unroll_factor(loop_size: int, max_factor: int = MAX_UNROLL,
+                         max_body: int = MAX_BODY_INSTRS) -> int:
+    """Largest power-of-two-free factor <= max_factor keeping the unrolled
+    body under the size limit (the paper's policy: 8x or body-size cap)."""
+    f = max_factor
+    while f > 1 and f * loop_size > max_body:
+        f -= 1
+    return max(f, 1)
+
+
+def _known_entry_value(func: Function, loop: Loop, operand) -> int | None:
+    """Compile-time value of ``operand`` on entry to the loop, if known.
+
+    Immediates are themselves; a register resolves when its reaching
+    definition at the loop header — the last definition in the blocks
+    dominating the header, outside the loop — is a constant move."""
+    from ..ir.loop import dominators
+
+    if isinstance(operand, Imm):
+        return operand.value
+    if not isinstance(operand, Reg):
+        return None
+    dom = dominators(func)
+    header_doms = dom.get(loop.header, set())
+    last: Instr | None = None
+    for blk in func.blocks:
+        if blk.label not in header_doms or blk.label in loop.blocks:
+            continue
+        for ins in blk.instrs:
+            if ins.dest == operand:
+                last = ins
+    # definitions inside the loop do not reach the entry as long as an
+    # outside definition exists afterwards in execution order; for our
+    # structured layouts the dominating chain is that order
+    if last is not None and last.op is Op.MOV and isinstance(last.srcs[0], Imm):
+        return last.srcs[0].value
+    return None
+
+
+def _limit_position(branch: Instr, iv: Reg) -> int:
+    """Index of the limit operand in the backedge branch's sources."""
+    a, b = branch.srcs
+    if a == iv:
+        return 1
+    if b == iv:
+        return 0
+    raise UnrollError(f"backedge branch {branch!r} does not test iv {iv}")
+
+
+def _copy_blocks(
+    func: Function,
+    labels: list[str],
+    suffix: str,
+) -> tuple[list[Block], dict[str, str]]:
+    """Create copies of ``labels`` (in layout order) with fresh labels and
+    internally remapped branch targets.  Blocks are created detached (not
+    yet inserted into the function layout)."""
+    mapping = {lab: func.new_label(f"{lab}.{suffix}") for lab in labels}
+    bm = func.block_map()
+    out: list[Block] = []
+    for lab in labels:
+        nb = Block(mapping[lab])
+        for ins in bm[lab].instrs:
+            c = ins.copy()
+            if c.target is not None and c.target.name in mapping:
+                c.target = Label(mapping[c.target.name])
+            nb.append(c)
+        out.append(nb)
+    return out, mapping
+
+
+def unroll_counted(
+    func: Function,
+    loop: Loop,
+    counted: CountedLoop,
+    factor: int,
+) -> CountedLoop:
+    """Unroll ``loop`` ``factor`` times with preconditioning.
+
+    Returns updated counted-loop metadata (new backedge branch identity,
+    ``trip_multiple = factor``).  Requires the loop blocks to be laid out
+    contiguously, header first, latch last — the shape the frontend emits.
+    """
+    if factor <= 1:
+        return counted
+    if len(loop.latches) != 1:
+        raise UnrollError("unroll requires a single latch")
+    latch_label = loop.latches[0]
+
+    # loop blocks in layout order; validate contiguity
+    layout = [b.label for b in func.blocks]
+    in_loop = [lab for lab in layout if lab in loop.blocks]
+    lo = layout.index(in_loop[0])
+    if layout[lo:lo + len(in_loop)] != in_loop:
+        raise UnrollError(f"loop {loop.header} blocks not contiguous in layout")
+    if in_loop[0] != loop.header or in_loop[-1] != latch_label:
+        raise UnrollError("loop layout must be header ... latch")
+
+    bm = func.block_map()
+    latch = bm[latch_label]
+    branch = counted.branch
+    if latch.terminator is not branch:
+        raise UnrollError("counted.branch is not the latch terminator")
+    if not latch.falls_through:
+        raise UnrollError("latch must fall through to the loop exit")
+    exit_label = func.fallthrough_succ(latch)
+    if exit_label is None:
+        raise UnrollError("loop has no layout exit")
+
+    iv, step, limit = counted.iv, counted.step, counted.limit
+    if step <= 0:
+        raise UnrollError("preconditioning requires a positive immediate step")
+    lim_pos = _limit_position(branch, iv)
+
+    ph = ensure_preheader(func, loop)
+
+    # When the entry value of the IV and the limit are compile-time
+    # constants, preconditioning is resolved statically: no span/div/rem
+    # arithmetic, a precondition loop only when ``count % factor != 0``,
+    # and no remainder or zero-trip guards ("iteration count known on loop
+    # entry" — the paper's loops are all of this type).
+    iv0 = _known_entry_value(func, loop, iv)
+    lim0 = _known_entry_value(func, loop, limit)
+    static_count = None
+    if iv0 is not None and lim0 is not None and (lim0 - iv0) % step == 0:
+        static_count = (lim0 - iv0) // step
+        if static_count < 2:
+            return counted  # nothing to unroll
+        if static_count < factor:
+            factor = static_count
+
+    pre_blocks: list[Block] = []
+    guard_blocks: list[Block] = []
+    if static_count is not None:
+        rem_iters = static_count % factor
+        if rem_iters:
+            pre_blocks, _ = _copy_blocks(func, in_loop, "pre")
+            pre_branch = pre_blocks[-1].terminator
+            assert pre_branch is not None and pre_branch.is_branch
+            srcs = list(pre_branch.srcs)
+            srcs[lim_pos] = Imm(iv0 + rem_iters * step)
+            pre_branch.srcs = tuple(srcs)
+            pre_branch.prob = 0.3
+        # count >= factor is guaranteed, so no zero-trip guard is needed
+    else:
+        # ---- dynamic precondition setup block -----------------------------
+        # A dedicated block keeps this correct whether the preheader reaches
+        # the header by fall-through or by an explicit jump.
+        setup = func.add_block(
+            func.new_label(f"{loop.header}.setup"), index=func.block_index(loop.header)
+        )
+        ph_term = ph.terminator
+        if ph_term is not None and ph_term.op is Op.JMP and ph_term.target.name == loop.header:
+            ph_term.target = Label(setup.label)
+
+        main_guard_label = func.new_label(f"{loop.header}.guard")
+        span = func.new_int_reg()
+        cnt = func.new_int_reg()
+        rem = func.new_int_reg()
+        off = func.new_int_reg()
+        pre_limit = func.new_int_reg()
+        setup.extend([
+            Instr(Op.SUB, span, (limit, iv)),
+            Instr(Op.DIV, cnt, (span, Imm(step))),
+            Instr(Op.REM, rem, (cnt, Imm(factor))),
+            Instr(Op.MUL, off, (rem, Imm(step))),
+            Instr(Op.ADD, pre_limit, (iv, off)),
+            Instr(Op.BEQ, srcs=(rem, Imm(0)), target=Label(main_guard_label), prob=0.5),
+        ])
+
+        pre_blocks, _ = _copy_blocks(func, in_loop, "pre")
+        pre_branch = pre_blocks[-1].terminator
+        assert pre_branch is not None and pre_branch.is_branch
+        srcs = list(pre_branch.srcs)
+        srcs[lim_pos] = pre_limit
+        pre_branch.srcs = tuple(srcs)
+        pre_branch.prob = 0.3  # runs at most factor-1 times
+
+        guard = Block(main_guard_label)
+        guard.append(
+            Instr(
+                NEGATED_BRANCH[branch.op],
+                srcs=branch.srcs,
+                target=Label(exit_label),
+                prob=0.1,
+            )
+        )
+        guard_blocks = [guard]
+
+    # insert precondition blocks (+ guard) immediately before the header
+    insert_at = func.block_index(loop.header)
+    for i, nb in enumerate(pre_blocks + guard_blocks):
+        func.blocks.insert(insert_at + i, nb)
+
+    # ---- 4. main loop: factor copies, intermediate tests removed ---------
+    # copy 0 is the original body; its backedge test is removed
+    new_branch = branch
+    new_increment = counted.increment
+    latch.instrs.remove(branch)
+    tail_at = func.block_index(latch_label) + 1
+    inc_index = None
+    for k, ins in enumerate(bm[latch_label].instrs):
+        if ins is counted.increment:
+            inc_index = k
+    for c in range(1, factor):
+        copies, cmap = _copy_blocks(func, in_loop, f"u{c}")
+        for nb in copies:
+            for ins in nb.instrs:
+                ins.tag = c
+        # original body already lost its branch, so copies have none either;
+        # the final copy gets the backedge test back
+        if c == factor - 1:
+            nb = branch.copy()
+            nb.target = Label(loop.header)
+            copies[-1].append(nb)
+            new_branch = nb
+            if inc_index is not None:
+                new_increment = copies[-1].instrs[inc_index]
+        for nb in copies:
+            func.blocks.insert(tail_at, nb)
+            tail_at += 1
+
+    return counted.clone_for(
+        branch=new_branch, increment=new_increment, trip_multiple=factor
+    )

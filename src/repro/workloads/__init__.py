@@ -1,0 +1,17 @@
+"""repro.workloads — the 40-loop-nest corpus of Table 2."""
+
+from .corpus import (
+    Workload,
+    all_workloads,
+    check_run,
+    get_workload,
+    ints,
+    near_one,
+    pos,
+    register,
+)
+
+__all__ = [
+    "Workload", "all_workloads", "check_run", "get_workload",
+    "ints", "near_one", "pos", "register",
+]

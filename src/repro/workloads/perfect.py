@@ -1,0 +1,1125 @@
+"""The 29 PERFECT-club loop nests of Table 2.
+
+Synthetic stand-ins matched row-by-row to the paper's table: source-line
+count, nesting depth, KAP loop classification of the innermost loop, and
+presence of conditionals.  See DESIGN.md §3 for the substitution rationale.
+Simulated trip counts are scaled down from the paper's (kept as
+``paper_iters``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frontend.ast import ArrayDecl, Kernel, Ty, aref, assign, do, if_, var
+from .corpus import Workload, ints, near_one, pos, register
+
+_F = Ty.FP
+_I = Ty.INT
+
+
+def _fp2(*names):
+    return {n: _F for n in names}
+
+
+# ---------------------------------------------------------------------------
+# APS: air pollution simulation style elementwise sweeps
+# ---------------------------------------------------------------------------
+
+def _aps1() -> Workload:
+    NI, NJ = 64, 3
+
+    def build():
+        i, j, q = var("i"), var("j"), var("q")
+        return Kernel(
+            "APS-1",
+            arrays={n: ArrayDecl(_F, (NI, NJ)) for n in "ABTC"},
+            scalars={"q": _F},
+            body=[do("j", 1, NJ, [do("i", 1, NI, [
+                assign(aref("T", i, j), aref("A", i, j) * q + aref("B", i, j)),
+                assign(aref("C", i, j), aref("T", i, j) * aref("B", i, j)),
+            ], kind="doall")])],
+        )
+
+    def data(rng):
+        return (
+            {"A": ints(rng, (NI, NJ)), "B": ints(rng, (NI, NJ)),
+             "T": np.zeros((NI, NJ)), "C": np.zeros((NI, NJ))},
+            {"q": 3.0},
+        )
+
+    def ref(a, s):
+        T = a["A"] * s["q"] + a["B"]
+        return {"T": T, "C": T * a["B"]}, {}
+
+    return Workload("APS-1", "PERFECT", 2, 64, 2, "doall", False, build, data, ref)
+
+
+def _aps2() -> Workload:
+    NI, NJ = 31, 3
+
+    def build():
+        i, j = var("i"), var("j")
+        q, r = var("q"), var("r")
+        t1, t2, t3, t4, t5 = (var(n) for n in ("t1", "t2", "t3", "t4", "t5"))
+        A, B, C = aref("A", i, j), aref("B", i, j), aref("C", i, j)
+        return Kernel(
+            "APS-2",
+            arrays={n: ArrayDecl(_F, (NI, NJ)) for n in "ABCDEF"},
+            scalars={"q": _F, "r": _F, **_fp2("t1", "t2", "t3", "t4", "t5")},
+            body=[do("j", 1, NJ, [do("i", 1, NI, [
+                assign(t1, A + B),
+                assign(t2, A - B),
+                assign(t3, t1 * t2),
+                assign(aref("D", i, j), t3 + q),
+                assign(t4, C * t1),
+                assign(aref("E", i, j), t4 - t3),
+                assign(t5, t4 + t2),
+                assign(aref("F", i, j), t5 * r),
+            ], kind="doall")])],
+        )
+
+    def data(rng):
+        arrs = {n: ints(rng, (NI, NJ)) for n in "ABC"}
+        arrs.update({n: np.zeros((NI, NJ)) for n in "DEF"})
+        return arrs, {"q": 2.0, "r": 0.5}
+
+    def ref(a, s):
+        t1 = a["A"] + a["B"]
+        t2 = a["A"] - a["B"]
+        t3 = t1 * t2
+        t4 = a["C"] * t1
+        t5 = t4 + t2
+        return {"D": t3 + s["q"], "E": t4 - t3, "F": t5 * s["r"]}, {}
+
+    return Workload("APS-2", "PERFECT", 8, 31, 2, "doall", False, build, data, ref)
+
+
+def _aps3() -> Workload:
+    N = 96
+
+    def build():
+        i, q, t = var("i"), var("q"), var("t")
+        return Kernel(
+            "APS-3",
+            arrays={n: ArrayDecl(_F, (N,)) for n in "ABC"},
+            scalars={"q": _F, "t": _F},
+            body=[do("i", 1, N, [
+                assign(t, aref("A", i) * q),
+                assign(aref("B", i), t + aref("C", i)),
+            ], kind="doall")],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, N), "B": np.zeros(N), "C": ints(rng, N)},
+                {"q": 2.5})
+
+    def ref(a, s):
+        return {"B": a["A"] * s["q"] + a["C"]}, {}
+
+    return Workload("APS-3", "PERFECT", 2, 776, 1, "doall", False, build, data, ref)
+
+
+# ---------------------------------------------------------------------------
+# CSS: circuit simulation — serial scalar recurrence with a clamp
+# ---------------------------------------------------------------------------
+
+def _css1() -> Workload:
+    N = 64
+
+    def build():
+        i, t, x = var("i"), var("t"), var("x")
+        return Kernel(
+            "CSS-1",
+            arrays={n: ArrayDecl(_F, (N,)) for n in "ABC"},
+            scalars={"q": _F, "c": _F, "r": _F, "x": _F, "t": _F},
+            outputs=["x"],
+            body=[do("i", 1, N, [
+                assign(t, aref("A", i) - x * var("q")),
+                if_(t < var("c"), [assign(t, t + aref("B", i))], p_then=0.5),
+                assign(x, t * var("r")),
+                assign(aref("C", i), x),
+            ], kind="serial")],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, N), "B": ints(rng, N), "C": np.zeros(N)},
+                {"q": 0.5, "c": 5.0, "r": 0.5, "x": 0.0})
+
+    def ref(a, s):
+        x = s["x"]
+        C = np.zeros_like(a["C"])
+        for k in range(len(C)):
+            t = a["A"][k] - x * s["q"]
+            if t < s["c"]:
+                t = t + a["B"][k]
+            x = t * s["r"]
+            C[k] = x
+        return {"C": C}, {"x": x}
+
+    return Workload("CSS-1", "PERFECT", 6, 67, 1, "serial", True, build, data, ref)
+
+
+# ---------------------------------------------------------------------------
+# LWS: first-order linear recurrences (wave solver style)
+# ---------------------------------------------------------------------------
+
+def _lws1() -> Workload:
+    NI, NJ = 96, 2
+
+    def build():
+        i, j, q, t = var("i"), var("j"), var("q"), var("t")
+        return Kernel(
+            "LWS-1",
+            arrays={"A": ArrayDecl(_F, (NI, NJ)), "B": ArrayDecl(_F, (NI, NJ))},
+            scalars={"q": _F, "t": _F},
+            body=[do("j", 1, NJ, [do("i", 2, NI, [
+                assign(t, aref("A", i - 1, j) * q),
+                assign(aref("A", i, j), t + aref("B", i, j)),
+            ], kind="serial")])],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, (NI, NJ)), "B": ints(rng, (NI, NJ))}, {"q": 0.5})
+
+    def ref(a, s):
+        A = a["A"].copy()
+        for j in range(A.shape[1]):
+            for i in range(1, A.shape[0]):
+                A[i, j] = A[i - 1, j] * s["q"] + a["B"][i, j]
+        return {"A": A}, {}
+
+    return Workload("LWS-1", "PERFECT", 2, 343, 2, "serial", False, build, data, ref)
+
+
+def _lws2() -> Workload:
+    NI, NJ = 96, 2
+
+    def build():
+        i, j = var("i"), var("j")
+        return Kernel(
+            "LWS-2",
+            arrays={"A": ArrayDecl(_F, (NI, NJ)), "B": ArrayDecl(_F, (NI, NJ))},
+            scalars={"s": _F},
+            outputs=["s"],
+            body=[do("j", 1, NJ, [do("i", 1, NI, [
+                assign(var("s"), var("s") + aref("A", i, j) * aref("B", i, j)),
+            ], kind="serial")])],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, (NI, NJ)), "B": ints(rng, (NI, NJ))}, {"s": 0.0})
+
+    def ref(a, s):
+        return {}, {"s": s["s"] + float((a["A"] * a["B"]).sum())}
+
+    return Workload("LWS-2", "PERFECT", 1, 3087, 2, "serial", False, build, data, ref)
+
+
+# ---------------------------------------------------------------------------
+# MTS: conditional accumulation and a 3-deep minimum search
+# ---------------------------------------------------------------------------
+
+def _mts1() -> Workload:
+    NI, NJ = 96, 2
+
+    def build():
+        i, j, t = var("i"), var("j"), var("t")
+        return Kernel(
+            "MTS-1",
+            arrays={"A": ArrayDecl(_F, (NI, NJ))},
+            scalars={"c": _F, "s": _F, "t": _F},
+            outputs=["s"],
+            body=[do("j", 1, NJ, [do("i", 1, NI, [
+                assign(t, aref("A", i, j)),
+                if_(t > var("c"), [assign(var("s"), var("s") + t)], p_then=0.55),
+            ], kind="serial")])],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, (NI, NJ))}, {"c": 4.0, "s": 0.0})
+
+    def ref(a, s):
+        A = a["A"]
+        return {}, {"s": s["s"] + float(A[A > s["c"]].sum())}
+
+    return Workload("MTS-1", "PERFECT", 2, 423, 2, "serial", True, build, data, ref)
+
+
+def _mts2() -> Workload:
+    NI, NJ, NK = 24, 2, 2
+
+    def build():
+        i, j, k, t = var("i"), var("j"), var("k"), var("t")
+        return Kernel(
+            "MTS-2",
+            arrays={"A": ArrayDecl(_F, (NI, NJ, NK))},
+            scalars={"m": _F, "t": _F},
+            outputs=["m"],
+            body=[do("k", 1, NK, [do("j", 1, NJ, [do("i", 1, NI, [
+                assign(t, aref("A", i, j, k)),
+                if_(t < var("m"), [assign(var("m"), t)], p_then=0.8),
+            ], kind="serial")])])],
+        )
+
+    def data(rng):
+        # descending ramps make the minimum update frequently: the search
+        # recurrence is then on the critical path (search expansion target)
+        base = np.arange(NI * NJ * NK, 0.0, -1.0).reshape((NI, NJ, NK), order="F")
+        noise = rng.integers(0, 2, (NI, NJ, NK)).astype(np.float64)
+        return ({"A": base + noise}, {"m": 1e9})
+
+    def ref(a, s):
+        return {}, {"m": min(float(a["A"].min()), s["m"])}
+
+    return Workload("MTS-2", "PERFECT", 2, 24, 3, "serial", True, build, data, ref)
+
+
+# ---------------------------------------------------------------------------
+# NAS: long elementwise bodies, a prefix recurrence, a big serial body,
+# and a distance-2 DOACROSS
+# ---------------------------------------------------------------------------
+
+def _nas1() -> Workload:
+    N = 96
+
+    def build():
+        i = var("i")
+        wr, wi, c1, c2, q = (var(n) for n in ("wr", "wi", "c1", "c2", "q"))
+        t = {k: var(f"t{k}") for k in range(1, 13)}
+        XR, XI = aref("XR", i), aref("XI", i)
+        YR, YI = aref("YR", i), aref("YI", i)
+        names = ["XR", "XI", "YR", "YI", "ZR", "ZI", "WR", "WI",
+                 "UR", "UI", "VR", "VI", "SR", "SI"]
+        return Kernel(
+            "NAS-1",
+            arrays={n: ArrayDecl(_F, (N,)) for n in names},
+            scalars={"wr": _F, "wi": _F, "c1": _F, "c2": _F, "q": _F,
+                     **{f"t{k}": _F for k in range(1, 13)}},
+            body=[do("i", 1, N, [
+                assign(t[1], XR * wr - XI * wi),
+                assign(t[2], XR * wi + XI * wr),
+                assign(t[3], YR + t[1]),
+                assign(t[4], YI + t[2]),
+                assign(t[5], YR - t[1]),
+                assign(t[6], YI - t[2]),
+                assign(aref("ZR", i), t[3] * c1 + t[4] * c2),
+                assign(aref("ZI", i), t[4] * c1 - t[3] * c2),
+                assign(aref("WR", i), t[5] * c1 + t[6] * c2),
+                assign(aref("WI", i), t[6] * c1 - t[5] * c2),
+                assign(t[7], t[3] * t[5] - t[4] * t[6]),
+                assign(t[8], t[3] * t[6] + t[4] * t[5]),
+                assign(aref("UR", i), t[7] + q),
+                assign(aref("UI", i), t[8] - q),
+                assign(t[9], t[7] * c1),
+                assign(t[10], t[8] * c2),
+                assign(aref("VR", i), t[9] - t[10]),
+                assign(aref("VI", i), t[9] + t[10]),
+                assign(t[11], t[1] * t[2]),
+                assign(t[12], t[11] - c1),
+                assign(aref("SR", i), t[12] * q),
+                assign(aref("SI", i), t[11] + t[12]),
+            ], kind="doall")],
+        )
+
+    def data(rng):
+        arrs = {n: ints(rng, N, 1, 5) for n in ("XR", "XI", "YR", "YI")}
+        for n in ("ZR", "ZI", "WR", "WI", "UR", "UI", "VR", "VI", "SR", "SI"):
+            arrs[n] = np.zeros(N)
+        return arrs, {"wr": 2.0, "wi": 1.0, "c1": 3.0, "c2": 2.0, "q": 1.0}
+
+    def ref(a, s):
+        t1 = a["XR"] * s["wr"] - a["XI"] * s["wi"]
+        t2 = a["XR"] * s["wi"] + a["XI"] * s["wr"]
+        t3, t4 = a["YR"] + t1, a["YI"] + t2
+        t5, t6 = a["YR"] - t1, a["YI"] - t2
+        t7 = t3 * t5 - t4 * t6
+        t8 = t3 * t6 + t4 * t5
+        t9, t10 = t7 * s["c1"], t8 * s["c2"]
+        t11 = t1 * t2
+        t12 = t11 - s["c1"]
+        return {
+            "ZR": t3 * s["c1"] + t4 * s["c2"], "ZI": t4 * s["c1"] - t3 * s["c2"],
+            "WR": t5 * s["c1"] + t6 * s["c2"], "WI": t6 * s["c1"] - t5 * s["c2"],
+            "UR": t7 + s["q"], "UI": t8 - s["q"],
+            "VR": t9 - t10, "VI": t9 + t10,
+            "SR": t12 * s["q"], "SI": t11 + t12,
+        }, {}
+
+    return Workload("NAS-1", "PERFECT", 22, 1500, 1, "doall", False, build, data, ref)
+
+
+def _nas2() -> Workload:
+    N = 96
+
+    def build():
+        i, q = var("i"), var("q")
+        t1, t2, t3 = var("t1"), var("t2"), var("t3")
+        return Kernel(
+            "NAS-2",
+            arrays={n: ArrayDecl(_F, (N,)) for n in "ABCD"},
+            scalars={"q": _F, "t1": _F, "t2": _F, "t3": _F},
+            body=[do("i", 1, N, [
+                assign(t1, aref("A", i) + aref("B", i)),
+                assign(t2, aref("A", i) - aref("B", i)),
+                assign(aref("C", i), t1 * t2),
+                assign(t3, t1 * q + t2),
+                assign(aref("D", i), t3 * t3),
+            ], kind="doall")],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, N), "B": ints(rng, N),
+                 "C": np.zeros(N), "D": np.zeros(N)}, {"q": 2.0})
+
+    def ref(a, s):
+        t1, t2 = a["A"] + a["B"], a["A"] - a["B"]
+        t3 = t1 * s["q"] + t2
+        return {"C": t1 * t2, "D": t3 * t3}, {}
+
+    return Workload("NAS-2", "PERFECT", 5, 1520, 1, "doall", False, build, data, ref)
+
+
+def _nas3() -> Workload:
+    N = 128
+
+    def build():
+        i, q, r, c = var("i"), var("q"), var("r"), var("c")
+        t1, t2, t3, t4 = var("t1"), var("t2"), var("t3"), var("t4")
+        return Kernel(
+            "NAS-3",
+            arrays={n: ArrayDecl(_F, (N,)) for n in "ABCD"},
+            scalars={"q": _F, "r": _F, "c": _F, "t1": _F, "t2": _F, "t3": _F, "t4": _F},
+            body=[do("i", 1, N, [
+                assign(t1, aref("A", i) * q),
+                assign(t2, aref("B", i) * r),
+                assign(t3, t1 + t2),
+                assign(aref("C", i), t3 + c),
+                assign(t4, t1 - t2),
+                assign(aref("D", i), t4 * t3),
+            ], kind="doall")],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, N), "B": ints(rng, N),
+                 "C": np.zeros(N), "D": np.zeros(N)},
+                {"q": 2.0, "r": 3.0, "c": 1.0})
+
+    def ref(a, s):
+        t1, t2 = a["A"] * s["q"], a["B"] * s["r"]
+        t3, t4 = t1 + t2, t1 - t2
+        return {"C": t3 + s["c"], "D": t4 * t3}, {}
+
+    return Workload("NAS-3", "PERFECT", 6, 6000, 1, "doall", False, build, data, ref)
+
+
+def _nas4() -> Workload:
+    N = 96
+
+    def build():
+        i, t = var("i"), var("t")
+        return Kernel(
+            "NAS-4",
+            arrays={"A": ArrayDecl(_F, (N,)), "B": ArrayDecl(_F, (N,))},
+            scalars={"t": _F},
+            body=[do("i", 2, N, [
+                assign(t, aref("B", i - 1) + aref("A", i)),
+                assign(aref("B", i), t),
+            ], kind="serial")],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, N), "B": ints(rng, N)}, {})
+
+    def ref(a, s):
+        B = a["B"].copy()
+        for i in range(1, len(B)):
+            B[i] = B[i - 1] + a["A"][i]
+        return {"B": B}, {}
+
+    return Workload("NAS-4", "PERFECT", 2, 1204, 1, "serial", False, build, data, ref)
+
+
+def _nas5() -> Workload:
+    """71-line body: eight reaction-channel updates feeding two
+    accumulators, plus a tail of elementwise writes.  Serial because of the
+    reductions."""
+    NI, NJ = 64, 2
+    COEF = [(0.5 + k, 1.0 + 0.5 * k) for k in range(8)]
+
+    def build():
+        i, j, q = var("i"), var("j"), var("q")
+        A, B = aref("A", i, j), aref("B", i, j)
+        stmts = []
+        for k, (c, d) in enumerate(COEF):
+            t1, t2, t3, t4, t5, t6 = (var(f"k{k}_{m}") for m in range(6))
+            stmts += [
+                assign(t1, A * c + B),
+                assign(t2, t1 * t1),
+                assign(t3, t2 - A),
+                assign(t4, t3 * d),
+                assign(var("s1"), var("s1") + t4),
+                assign(t5, t4 + t2),
+                assign(t6, t5 * c),
+                assign(var("s2"), var("s2") + t6),
+            ]
+        t7, t8 = var("t7"), var("t8")
+        stmts += [
+            assign(t7, A - B),
+            assign(t8, t7 * q),
+            assign(aref("D", i, j), t8 * t7),
+            assign(aref("E", i, j), t8 + t7),
+            assign(aref("F", i, j), t7 + q),
+            assign(aref("G", i, j), t8 * t8),
+            assign(aref("H", i, j), t8 - A),
+        ]
+        scalars = {"q": _F, "s1": _F, "s2": _F, "t7": _F, "t8": _F}
+        for k in range(8):
+            scalars.update({f"k{k}_{m}": _F for m in range(6)})
+        return Kernel(
+            "NAS-5",
+            arrays={n: ArrayDecl(_F, (NI, NJ)) for n in "ABDEFGH"},
+            scalars=scalars,
+            outputs=["s1", "s2"],
+            body=[do("j", 1, NJ, [do("i", 1, NI, stmts, kind="serial")])],
+        )
+
+    def data(rng):
+        arrs = {"A": ints(rng, (NI, NJ), 1, 4), "B": ints(rng, (NI, NJ), 1, 4)}
+        for n in "DEFGH":
+            arrs[n] = np.zeros((NI, NJ))
+        return arrs, {"q": 2.0, "s1": 0.0, "s2": 0.0}
+
+    def ref(a, s):
+        A, B, q = a["A"], a["B"], s["q"]
+        s1 = s["s1"]
+        s2 = s["s2"]
+        for c, d in COEF:
+            t1 = A * c + B
+            t2 = t1 * t1
+            t3 = t2 - A
+            t4 = t3 * d
+            s1 += t4.sum()
+            t5 = t4 + t2
+            s2 += (t5 * c).sum()
+        t7 = A - B
+        t8 = t7 * q
+        return (
+            {"D": t8 * t7, "E": t8 + t7, "F": t7 + q, "G": t8 * t8, "H": t8 - A},
+            {"s1": float(s1), "s2": float(s2)},
+        )
+
+    return Workload(
+        "NAS-5", "PERFECT", 71, 1500, 2, "serial", False, build, data, ref,
+        rtol=1e-7,
+    )
+
+
+def _nas6() -> Workload:
+    NI, NJ = 96, 2
+
+    def build():
+        i, j, q, r = var("i"), var("j"), var("q"), var("r")
+        t = {k: var(f"t{k}") for k in range(1, 12)}
+        A, B = aref("A", i, j), aref("B", i, j)
+        C = aref("C", i, j)
+        return Kernel(
+            "NAS-6",
+            arrays={n: ArrayDecl(_F, (NI, NJ)) for n in "ABCDEFGH"},
+            scalars={"q": _F, "r": _F, **{f"t{k}": _F for k in range(1, 12)}},
+            body=[do("j", 1, NJ, [do("i", 1, NI - 2, [
+                # distance-2 carried dependence through A
+                assign(t[1], A * q),
+                assign(t[2], t[1] + B),
+                assign(aref("A", i + 2, j), t[2] * r),
+                # independent elementwise tail
+                assign(t[3], B + C),
+                assign(t[4], B - C),
+                assign(t[5], t[3] * t[4]),
+                assign(aref("D", i, j), t[5] + q),
+                assign(t[6], t[3] * r),
+                assign(aref("E", i, j), t[6] - t[4]),
+                assign(t[7], t[5] + t[6]),
+                assign(aref("F", i, j), t[7] * q),
+                assign(t[8], t[7] - t[1]),
+                assign(t[9], t[8] * t[8]),
+                assign(aref("G", i, j), t[9] + r),
+                assign(t[10], t[9] - t[5]),
+                assign(t[11], t[10] * q),
+                assign(aref("H", i, j), t[11] + t[3]),
+            ], kind="doacross")])],
+        )
+
+    def data(rng):
+        arrs = {n: ints(rng, (NI, NJ), 1, 3) for n in "ABC"}
+        for n in "DEFGH":
+            arrs[n] = np.zeros((NI, NJ))
+        return arrs, {"q": 0.5, "r": 0.5}
+
+    def ref(a, s):
+        A = a["A"].copy()
+        B, C, q, r = a["B"], a["C"], s["q"], s["r"]
+        out = {n: np.zeros_like(A) for n in "DEFGH"}
+        for j in range(NJ):
+            for i in range(NI - 2):
+                t1 = A[i, j] * q
+                t2 = t1 + B[i, j]
+                A[i + 2, j] = t2 * r
+                t3 = B[i, j] + C[i, j]
+                t4 = B[i, j] - C[i, j]
+                t5 = t3 * t4
+                out["D"][i, j] = t5 + q
+                t6 = t3 * r
+                out["E"][i, j] = t6 - t4
+                t7 = t5 + t6
+                out["F"][i, j] = t7 * q
+                t8 = t7 - t1
+                t9 = t8 * t8
+                out["G"][i, j] = t9 + r
+                t10 = t9 - t5
+                t11 = t10 * q
+                out["H"][i, j] = t11 + t3
+        return {"A": A, **out}, {}
+
+    return Workload("NAS-6", "PERFECT", 24, 635, 2, "doacross", False, build, data, ref)
+
+
+# ---------------------------------------------------------------------------
+# SDS: small reductions and recurrences
+# ---------------------------------------------------------------------------
+
+def _sds1() -> Workload:
+    NI, NJ = 25, 3
+
+    def build():
+        i, j = var("i"), var("j")
+        return Kernel(
+            "SDS-1",
+            arrays={"A": ArrayDecl(_F, (NI, NJ))},
+            scalars={"p": _F},
+            outputs=["p"],
+            body=[do("j", 1, NJ, [do("i", 1, NI, [
+                assign(var("p"), var("p") * aref("A", i, j)),
+            ], kind="serial")])],
+        )
+
+    def data(rng):
+        return ({"A": near_one(rng, (NI, NJ))}, {"p": 1.0})
+
+    def ref(a, s):
+        return {}, {"p": s["p"] * float(np.prod(a["A"]))}
+
+    return Workload(
+        "SDS-1", "PERFECT", 1, 25, 2, "serial", False, build, data, ref,
+        rtol=1e-7,
+    )
+
+
+def _sds2() -> Workload:
+    NI, NJ, NK = 32, 2, 2
+
+    def build():
+        i, j, k = var("i"), var("j"), var("k")
+        return Kernel(
+            "SDS-2",
+            arrays={"A": ArrayDecl(_F, (NI, NJ, NK))},
+            scalars={"s": _F},
+            outputs=["s"],
+            body=[do("k", 1, NK, [do("j", 1, NJ, [do("i", 1, NI, [
+                assign(var("s"), var("s") + aref("A", i, j, k)),
+            ], kind="serial")])])],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, (NI, NJ, NK))}, {"s": 0.0})
+
+    def ref(a, s):
+        return {}, {"s": s["s"] + float(a["A"].sum())}
+
+    return Workload("SDS-2", "PERFECT", 1, 32, 3, "serial", False, build, data, ref)
+
+
+def _sds3() -> Workload:
+    NI, NJ = 26, 3
+
+    def build():
+        i, j, q = var("i"), var("j"), var("q")
+        return Kernel(
+            "SDS-3",
+            arrays={"A": ArrayDecl(_F, (NI, NJ))},
+            scalars={"q": _F},
+            body=[do("j", 1, NJ, [do("i", 2, NI, [
+                assign(aref("A", i, j), aref("A", i - 1, j) * q),
+            ], kind="serial")])],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, (NI, NJ))}, {"q": 0.5})
+
+    def ref(a, s):
+        A = a["A"].copy()
+        for j in range(NJ):
+            for i in range(1, NI):
+                A[i, j] = A[i - 1, j] * s["q"]
+        return {"A": A}, {}
+
+    return Workload("SDS-3", "PERFECT", 1, 25, 2, "serial", False, build, data, ref)
+
+
+def _sds4() -> Workload:
+    NI, NJ = 25, 3
+
+    def build():
+        i, j, q, t = var("i"), var("j"), var("q"), var("t")
+        return Kernel(
+            "SDS-4",
+            arrays={"A": ArrayDecl(_F, (NI + 1, NJ)),
+                    "B": ArrayDecl(_F, (NI, NJ)),
+                    "C": ArrayDecl(_F, (NI, NJ))},
+            scalars={"q": _F, "t": _F},
+            body=[do("j", 1, NJ, [do("i", 1, NI, [
+                assign(t, aref("B", i, j) * q),
+                assign(aref("A", i + 1, j), t),
+                assign(aref("C", i, j), aref("A", i, j) + t),
+            ], kind="doacross")])],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, (NI + 1, NJ)), "B": ints(rng, (NI, NJ)),
+                 "C": np.zeros((NI, NJ))}, {"q": 2.0})
+
+    def ref(a, s):
+        A = a["A"].copy()
+        C = np.zeros((NI, NJ))
+        for j in range(NJ):
+            for i in range(NI):
+                t = a["B"][i, j] * s["q"]
+                A[i + 1, j] = t
+                C[i, j] = A[i, j] + t
+        return {"A": A, "C": C}, {}
+
+    return Workload("SDS-4", "PERFECT", 3, 25, 2, "doacross", False, build, data, ref)
+
+
+# ---------------------------------------------------------------------------
+# SRS: structural analysis sweeps
+# ---------------------------------------------------------------------------
+
+def _srs1() -> Workload:
+    N = 96
+
+    def build():
+        i, t, u = var("i"), var("t"), var("u")
+        return Kernel(
+            "SRS-1",
+            arrays={n: ArrayDecl(_F, (N,)) for n in "ABC"},
+            scalars={"t": _F, "u": _F},
+            body=[do("i", 1, N, [
+                assign(t, aref("A", i) + aref("B", i)),
+                assign(u, aref("A", i) - aref("B", i)),
+                assign(aref("C", i), t * u),
+            ], kind="doall")],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, N), "B": ints(rng, N), "C": np.zeros(N)}, {})
+
+    def ref(a, s):
+        return {"C": (a["A"] + a["B"]) * (a["A"] - a["B"])}, {}
+
+    return Workload("SRS-1", "PERFECT", 3, 287, 1, "doall", False, build, data, ref)
+
+
+def _srs2() -> Workload:
+    NI, NJ = 72, 2
+
+    def build():
+        i, j, q, r = var("i"), var("j"), var("q"), var("r")
+        t, u = var("t"), var("u")
+        return Kernel(
+            "SRS-2",
+            arrays={n: ArrayDecl(_F, (NI, NJ)) for n in "ABCDE"},
+            scalars={"q": _F, "r": _F, "t": _F, "u": _F},
+            body=[do("j", 1, NJ, [do("i", 2, NI, [
+                assign(t, aref("A", i, j)),
+                assign(aref("C", i, j), aref("C", i - 1, j) * q + t),
+                assign(u, t * r),
+                assign(aref("D", i, j), u + aref("B", i, j)),
+                assign(aref("E", i, j), u * t),
+            ], kind="doacross")])],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, (NI, NJ)), "B": ints(rng, (NI, NJ)),
+                 "C": ints(rng, (NI, NJ)), "D": np.zeros((NI, NJ)),
+                 "E": np.zeros((NI, NJ))}, {"q": 0.5, "r": 2.0})
+
+    def ref(a, s):
+        C = a["C"].copy()
+        D = np.zeros((NI, NJ))
+        E = np.zeros((NI, NJ))
+        for j in range(NJ):
+            for i in range(1, NI):
+                t = a["A"][i, j]
+                C[i, j] = C[i - 1, j] * s["q"] + t
+                u = t * s["r"]
+                D[i, j] = u + a["B"][i, j]
+                E[i, j] = u * t
+        return {"C": C, "D": D, "E": E}, {}
+
+    return Workload("SRS-2", "PERFECT", 5, 287, 2, "doacross", False, build, data, ref)
+
+
+def _srs3() -> Workload:
+    NI, NJ = 96, 2
+
+    def build():
+        i, j = var("i"), var("j")
+        return Kernel(
+            "SRS-3",
+            arrays={n: ArrayDecl(_F, (NI, NJ)) for n in "ABC"},
+            scalars={},
+            body=[do("j", 1, NJ, [do("i", 1, NI, [
+                assign(aref("A", i, j), aref("B", i, j) * aref("C", i, j)),
+            ], kind="doall")])],
+        )
+
+    def data(rng):
+        return ({"A": np.zeros((NI, NJ)), "B": ints(rng, (NI, NJ)),
+                 "C": ints(rng, (NI, NJ))}, {})
+
+    def ref(a, s):
+        return {"A": a["B"] * a["C"]}, {}
+
+    return Workload("SRS-3", "PERFECT", 1, 287, 2, "doall", False, build, data, ref)
+
+
+def _srs4() -> Workload:
+    NI, NJ, NK = 87, 2, 2
+
+    def build():
+        i, j, k, q, r, c = var("i"), var("j"), var("k"), var("q"), var("r"), var("c")
+        t = {m: var(f"t{m}") for m in range(1, 6)}
+        A, B = aref("A", i, j, k), aref("B", i, j, k)
+        return Kernel(
+            "SRS-4",
+            arrays={n: ArrayDecl(_F, (NI, NJ, NK)) for n in "ABCDEF"},
+            scalars={"q": _F, "r": _F, "c": _F, **{f"t{m}": _F for m in range(1, 6)}},
+            body=[do("k", 1, NK, [do("j", 1, NJ, [do("i", 1, NI, [
+                assign(t[1], A + B),
+                assign(t[2], A * q),
+                assign(t[3], t[1] - t[2]),
+                assign(aref("C", i, j, k), t[3] * r),
+                assign(t[4], t[3] + t[1]),
+                assign(aref("D", i, j, k), t[4] * t[2]),
+                assign(t[5], t[4] - c),
+                assign(aref("E", i, j, k), t[5] * t[5]),
+                assign(aref("F", i, j, k), t[5] + t[3]),
+            ], kind="doall")])])],
+        )
+
+    def data(rng):
+        arrs = {"A": ints(rng, (NI, NJ, NK)), "B": ints(rng, (NI, NJ, NK))}
+        for n in "CDEF":
+            arrs[n] = np.zeros((NI, NJ, NK))
+        return arrs, {"q": 2.0, "r": 3.0, "c": 1.0}
+
+    def ref(a, s):
+        t1 = a["A"] + a["B"]
+        t2 = a["A"] * s["q"]
+        t3 = t1 - t2
+        t4 = t3 + t1
+        t5 = t4 - s["c"]
+        return {"C": t3 * s["r"], "D": t4 * t2, "E": t5 * t5, "F": t5 + t3}, {}
+
+    return Workload("SRS-4", "PERFECT", 9, 87, 3, "doall", False, build, data, ref)
+
+
+def _srs5() -> Workload:
+    NI, NJ = 72, 2
+
+    def build():
+        i, j, q = var("i"), var("j"), var("q")
+        a = {k: var(f"a{k}") for k in range(4)}
+        b = {k: var(f"b{k}") for k in range(4)}
+        t = {k: var(f"t{k}") for k in range(1, 4)}
+        u = {k: var(f"u{k}") for k in range(1, 6)}
+        v = {k: var(f"v{k}") for k in range(1, 6)}
+        w = {k: var(f"w{k}") for k in range(1, 5)}
+        X = aref("X", i, j)
+        scalars = {"q": _F}
+        for d in (a, b):
+            scalars.update({vv.name: _F for vv in d.values()})
+        for d in (t, u, v, w):
+            scalars.update({vv.name: _F for vv in d.values()})
+        return Kernel(
+            "SRS-5",
+            arrays={n: ArrayDecl(_F, (NI, NJ)) for n in "XPQRS"},
+            scalars=scalars,
+            body=[do("j", 1, NJ, [do("i", 1, NI, [
+                assign(t[1], X),
+                assign(t[2], t[1] * t[1]),
+                assign(t[3], t[2] * t[1]),
+                assign(u[1], t[3] * a[3]),
+                assign(u[2], t[2] * a[2]),
+                assign(u[3], t[1] * a[1]),
+                assign(u[4], u[1] + u[2]),
+                assign(u[5], u[4] + u[3]),
+                assign(aref("P", i, j), u[5] + a[0]),
+                assign(v[1], t[3] * b[3]),
+                assign(v[2], t[2] * b[2]),
+                assign(v[3], t[1] * b[1]),
+                assign(v[4], v[1] + v[2]),
+                assign(v[5], v[4] + v[3]),
+                assign(aref("Q", i, j), v[5] + b[0]),
+                assign(w[1], u[5] * v[5]),
+                assign(w[2], u[5] - v[5]),
+                assign(aref("R", i, j), w[1] * w[2]),
+                assign(w[3], w[1] + t[2]),
+                assign(w[4], w[3] * q),
+                assign(aref("S", i, j), w[4] - t[3]),
+            ], kind="doall")])],
+        )
+
+    def data(rng):
+        arrs = {"X": ints(rng, (NI, NJ), 1, 4)}
+        for n in "PQRS":
+            arrs[n] = np.zeros((NI, NJ))
+        return arrs, {"q": 0.5, "a0": 1.0, "a1": 2.0, "a2": 3.0, "a3": 1.0,
+                      "b0": 2.0, "b1": 1.0, "b2": 2.0, "b3": 2.0}
+
+    def ref(a_, s):
+        t1 = a_["X"]
+        t2 = t1 * t1
+        t3 = t2 * t1
+        u5 = t3 * s["a3"] + t2 * s["a2"] + t1 * s["a1"]
+        v5 = t3 * s["b3"] + t2 * s["b2"] + t1 * s["b1"]
+        w1 = u5 * v5
+        w2 = u5 - v5
+        return {
+            "P": u5 + s["a0"], "Q": v5 + s["b0"], "R": w1 * w2,
+            "S": (w1 + t2) * s["q"] - t3,
+        }, {}
+
+    return Workload("SRS-5", "PERFECT", 21, 287, 2, "doall", False, build, data, ref)
+
+
+def _srs6() -> Workload:
+    NI, NJ = 96, 2
+
+    def build():
+        i, j = var("i"), var("j")
+        return Kernel(
+            "SRS-6",
+            arrays={"A": ArrayDecl(_F, (NI, NJ))},
+            scalars={"s": _F},
+            outputs=["s"],
+            body=[do("j", 1, NJ, [do("i", 1, NI, [
+                assign(var("s"), var("s") + aref("A", i, j)),
+            ], kind="serial")])],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, (NI, NJ))}, {"s": 0.0})
+
+    def ref(a, s):
+        return {}, {"s": s["s"] + float(a["A"].sum())}
+
+    return Workload("SRS-6", "PERFECT", 1, 287, 2, "serial", False, build, data, ref)
+
+
+# ---------------------------------------------------------------------------
+# TFS: flow solver sweeps with divisions and a recurrence
+# ---------------------------------------------------------------------------
+
+def _tfs1() -> Workload:
+    NI, NJ = 72, 2
+
+    def build():
+        i, j, q, r, c = var("i"), var("j"), var("q"), var("r"), var("c")
+        t = {k: var(f"t{k}") for k in range(1, 8)}
+        return Kernel(
+            "TFS-1",
+            arrays={n: ArrayDecl(_F, (NI, NJ)) for n in "ABCDEFG"},
+            scalars={"q": _F, "r": _F, "c": _F, **{f"t{k}": _F for k in range(1, 8)}},
+            body=[do("j", 1, NJ, [do("i", 1, NI, [
+                assign(t[1], aref("A", i, j) + q),
+                assign(t[2], aref("B", i, j) / t[1]),
+                assign(t[3], aref("C", i, j) / t[1]),
+                assign(t[4], t[2] + t[3]),
+                assign(t[5], t[2] - t[3]),
+                assign(aref("D", i, j), t[4] * t[5]),
+                assign(t[6], t[4] / r),
+                assign(aref("E", i, j), t[6] + t[5]),
+                assign(t[7], t[5] * c),
+                assign(aref("F", i, j), t[7] - t[6]),
+                assign(aref("G", i, j), t[7] * t[4]),
+            ], kind="doall")])],
+        )
+
+    def data(rng):
+        arrs = {"A": pos(rng, (NI, NJ)), "B": ints(rng, (NI, NJ)),
+                "C": ints(rng, (NI, NJ))}
+        for n in "DEFG":
+            arrs[n] = np.zeros((NI, NJ))
+        return arrs, {"q": 1.0, "r": 2.0, "c": 4.0}
+
+    def ref(a, s):
+        t1 = a["A"] + s["q"]
+        t2 = a["B"] / t1
+        t3 = a["C"] / t1
+        t4, t5 = t2 + t3, t2 - t3
+        t6 = t4 / s["r"]
+        t7 = t5 * s["c"]
+        return {"D": t4 * t5, "E": t6 + t5, "F": t7 - t6, "G": t7 * t4}, {}
+
+    return Workload(
+        "TFS-1", "PERFECT", 11, 89, 2, "doall", False, build, data, ref,
+        rtol=1e-7,
+    )
+
+
+def _tfs2() -> Workload:
+    NI, NJ = 80, 2
+
+    def build():
+        i, j, q, r, c = var("i"), var("j"), var("q"), var("r"), var("c")
+        t1, t2, t3 = var("t1"), var("t2"), var("t3")
+        return Kernel(
+            "TFS-2",
+            arrays={n: ArrayDecl(_F, (NI, NJ)) for n in "ABCDEF"},
+            scalars={"q": _F, "r": _F, "c": _F, "t1": _F, "t2": _F, "t3": _F},
+            body=[do("j", 1, NJ, [do("i", 2, NI, [
+                assign(t1, aref("A", i, j) * q),
+                assign(aref("B", i, j), aref("B", i - 1, j) + t1),
+                assign(t2, t1 + aref("C", i, j)),
+                assign(aref("D", i, j), t2 * r),
+                assign(t3, t2 - t1),
+                assign(aref("E", i, j), t3 * t2),
+                assign(aref("F", i, j), t3 + c),
+            ], kind="doacross")])],
+        )
+
+    def data(rng):
+        arrs = {"A": ints(rng, (NI, NJ)), "B": ints(rng, (NI, NJ)),
+                "C": ints(rng, (NI, NJ))}
+        for n in "DEF":
+            arrs[n] = np.zeros((NI, NJ))
+        return arrs, {"q": 2.0, "r": 0.5, "c": 1.0}
+
+    def ref(a, s):
+        B = a["B"].copy()
+        D = np.zeros((NI, NJ))
+        E = np.zeros((NI, NJ))
+        F = np.zeros((NI, NJ))
+        for j in range(NJ):
+            for i in range(1, NI):
+                t1 = a["A"][i, j] * s["q"]
+                B[i, j] = B[i - 1, j] + t1
+                t2 = t1 + a["C"][i, j]
+                D[i, j] = t2 * s["r"]
+                t3 = t2 - t1
+                E[i, j] = t3 * t2
+                F[i, j] = t3 + s["c"]
+        return {"B": B, "D": D, "E": E, "F": F}, {}
+
+    return Workload("TFS-2", "PERFECT", 7, 120, 2, "doacross", False, build, data, ref)
+
+
+def _tfs3() -> Workload:
+    NI, NJ, NK = 49, 2, 2
+
+    def build():
+        i, j, k, q, t = var("i"), var("j"), var("k"), var("q"), var("t")
+        return Kernel(
+            "TFS-3",
+            arrays={n: ArrayDecl(_F, (NI, NJ, NK)) for n in "ABC"},
+            scalars={"q": _F, "t": _F},
+            body=[do("k", 1, NK, [do("j", 1, NJ, [do("i", 1, NI, [
+                assign(t, aref("A", i, j, k) * q),
+                assign(aref("B", i, j, k), t + aref("C", i, j, k)),
+            ], kind="doall")])])],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, (NI, NJ, NK)), "B": np.zeros((NI, NJ, NK)),
+                 "C": ints(rng, (NI, NJ, NK))}, {"q": 2.0})
+
+    def ref(a, s):
+        return {"B": a["A"] * s["q"] + a["C"]}, {}
+
+    return Workload("TFS-3", "PERFECT", 2, 49, 3, "doall", False, build, data, ref)
+
+
+# ---------------------------------------------------------------------------
+# WSS: weather simulation sweeps
+# ---------------------------------------------------------------------------
+
+def _wss1() -> Workload:
+    NI, NJ = 96, 2
+
+    def build():
+        i, j, q = var("i"), var("j"), var("q")
+        return Kernel(
+            "WSS-1",
+            arrays={"A": ArrayDecl(_F, (NI, NJ)), "B": ArrayDecl(_F, (NI, NJ))},
+            scalars={"q": _F},
+            body=[do("j", 1, NJ, [do("i", 1, NI, [
+                assign(aref("A", i, j), aref("B", i, j) * q),
+            ], kind="doall")])],
+        )
+
+    def data(rng):
+        return ({"A": np.zeros((NI, NJ)), "B": ints(rng, (NI, NJ))}, {"q": 3.0})
+
+    def ref(a, s):
+        return {"A": a["B"] * s["q"]}, {}
+
+    return Workload("WSS-1", "PERFECT", 1, 96, 2, "doall", False, build, data, ref)
+
+
+def _wss2() -> Workload:
+    NI, NJ = 39, 2
+
+    def build():
+        i, j, q, t, u = var("i"), var("j"), var("q"), var("t"), var("u")
+        return Kernel(
+            "WSS-2",
+            arrays={"A": ArrayDecl(_F, (NI + 1, NJ)),
+                    "B": ArrayDecl(_F, (NI, NJ)),
+                    "C": ArrayDecl(_F, (NI, NJ))},
+            scalars={"q": _F, "t": _F, "u": _F},
+            body=[do("j", 1, NJ, [do("i", 1, NI, [
+                assign(t, aref("A", i, j) + aref("B", i, j)),
+                assign(aref("A", i + 1, j), t * q),
+                assign(u, t - aref("B", i, j)),
+                assign(aref("C", i, j), u * u),
+            ], kind="doacross")])],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, (NI + 1, NJ)), "B": ints(rng, (NI, NJ)),
+                 "C": np.zeros((NI, NJ))}, {"q": 0.5})
+
+    def ref(a, s):
+        A = a["A"].copy()
+        C = np.zeros((NI, NJ))
+        for j in range(NJ):
+            for i in range(NI):
+                t = A[i, j] + a["B"][i, j]
+                A[i + 1, j] = t * s["q"]
+                u = t - a["B"][i, j]
+                C[i, j] = u * u
+        return {"A": A, "C": C}, {}
+
+    return Workload("WSS-2", "PERFECT", 4, 39, 2, "doacross", False, build, data, ref)
+
+
+for _w in (
+    _aps1, _aps2, _aps3, _css1, _lws1, _lws2, _mts1, _mts2,
+    _nas1, _nas2, _nas3, _nas4, _nas5, _nas6,
+    _sds1, _sds2, _sds3, _sds4,
+    _srs1, _srs2, _srs3, _srs4, _srs5, _srs6,
+    _tfs1, _tfs2, _tfs3, _wss1, _wss2,
+):
+    register(_w())

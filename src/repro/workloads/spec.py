@@ -1,0 +1,282 @@
+"""The 6 SPEC loop nests of Table 2 (doduc, matrix300, nasa7, tomcatv)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frontend.ast import ArrayDecl, Kernel, Ty, aref, assign, do, if_, var
+from .corpus import Workload, ints, pos, register
+
+_F = Ty.FP
+
+
+def _doduc1() -> Workload:
+    """Monte-Carlo reactor style: big serial body with conditionals,
+    divisions, and a carried state scalar (38 lines, 13 iterations)."""
+    N = 16
+
+    def build():
+        i = var("i")
+        x, s = var("x"), var("s")
+        t = {k: var(f"t{k}") for k in range(1, 18)}
+        q, r, c, w = var("q"), var("r"), var("c"), var("w")
+        A, B, C = aref("A", i), aref("B", i), aref("C", i)
+        scalars = {"q": _F, "r": _F, "c": _F, "w": _F, "x": _F, "s": _F,
+                   **{f"t{k}": _F for k in range(1, 18)}}
+        return Kernel(
+            "doduc-1",
+            arrays={n: ArrayDecl(_F, (N,)) for n in "ABCDE"},
+            scalars=scalars,
+            outputs=["x", "s"],
+            body=[do("i", 1, N, [
+                assign(t[1], A * x),                       # 1
+                assign(t[2], t[1] + B),                    # 2
+                assign(t[3], C + q),                       # 3
+                assign(t[4], t[2] / t[3]),                 # 4
+                assign(t[5], t[4] * t[4]),                 # 5
+                assign(t[6], t[5] - t[2]),                 # 6
+                if_(t[4] > c,                              # 7 (+2 arms)
+                    [assign(t[7], t[4] * r)],
+                    [assign(t[7], t[4] + r)], p_then=0.6),
+                assign(t[8], t[7] + t[6]),                 # 10
+                assign(t[9], t[8] / q),                    # 11
+                assign(t[10], t[9] * w),                   # 12
+                assign(t[11], t[10] - t[5]),               # 13
+                assign(aref("D", i), t[11]),               # 14
+                assign(t[12], t[11] * t[7]),               # 15
+                if_(t[12] > 0.0,                           # 16 (+1 arm)
+                    [assign(s, s + t[12])], p_then=0.6),
+                assign(t[13], t[8] * t[9]),                # 18
+                assign(t[14], t[13] + t[10]),              # 19
+                assign(t[15], t[14] / t[3]),               # 20
+                assign(aref("E", i), t[15]),               # 21
+                assign(t[16], t[15] + t[4]),               # 22
+                assign(t[17], t[16] * w),                  # 23
+                assign(x, t[17] * q),                      # 24
+            ], kind="serial")],
+        )
+
+    def data(rng):
+        return ({"A": pos(rng, N, 1, 3), "B": ints(rng, N, 1, 4),
+                 "C": pos(rng, N, 1, 3), "D": np.zeros(N), "E": np.zeros(N)},
+                {"q": 2.0, "r": 0.5, "c": 1.0, "w": 0.25, "x": 1.0, "s": 0.0})
+
+    def ref(a, sc):
+        x, s = sc["x"], sc["s"]
+        D = np.zeros(N)
+        E = np.zeros(N)
+        for k in range(N):
+            t1 = a["A"][k] * x
+            t2 = t1 + a["B"][k]
+            t3 = a["C"][k] + sc["q"]
+            t4 = t2 / t3
+            t5 = t4 * t4
+            t6 = t5 - t2
+            t7 = t4 * sc["r"] if t4 > sc["c"] else t4 + sc["r"]
+            t8 = t7 + t6
+            t9 = t8 / sc["q"]
+            t10 = t9 * sc["w"]
+            t11 = t10 - t5
+            D[k] = t11
+            t12 = t11 * t7
+            if t12 > 0.0:
+                s = s + t12
+            t13 = t8 * t9
+            t14 = t13 + t10
+            t15 = t14 / t3
+            E[k] = t15
+            t16 = t15 + t4
+            t17 = t16 * sc["w"]
+            x = t17 * sc["q"]
+        return {"D": D, "E": E}, {"x": x, "s": s}
+
+    return Workload(
+        "doduc-1", "SPEC", 38, 13, 1, "serial", True, build, data, ref,
+        rtol=1e-6,
+    )
+
+
+def _matrix300() -> Workload:
+    """The SAXPY column update at the heart of matrix multiply."""
+    N = 96
+
+    def build():
+        i, s = var("i"), var("s")
+        return Kernel(
+            "matrix300-1",
+            arrays={"A": ArrayDecl(_F, (N,)), "C": ArrayDecl(_F, (N,))},
+            scalars={"s": _F},
+            body=[do("i", 1, N, [
+                assign(aref("C", i), aref("C", i) + aref("A", i) * s),
+            ], kind="doall")],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, N), "C": ints(rng, N)}, {"s": 3.0})
+
+    def ref(a, sc):
+        return {"C": a["C"] + a["A"] * sc["s"]}, {}
+
+    return Workload("matrix300-1", "SPEC", 1, 300, 1, "doall", False, build, data, ref)
+
+
+def _nasa7_1() -> Workload:
+    NI, NJ, NK = 96, 2, 2
+
+    def build():
+        i, j, k = var("i"), var("j"), var("k")
+        return Kernel(
+            "nasa7-1",
+            arrays={"A": ArrayDecl(_F, (NI, NJ, NK)),
+                    "B": ArrayDecl(_F, (NJ, NK)),
+                    "C": ArrayDecl(_F, (NI, NJ, NK))},
+            scalars={},
+            body=[do("k", 1, NK, [do("j", 1, NJ, [do("i", 1, NI, [
+                assign(aref("C", i, j, k),
+                       aref("C", i, j, k) + aref("A", i, j, k) * aref("B", j, k)),
+            ], kind="doall")])])],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, (NI, NJ, NK)), "B": ints(rng, (NJ, NK)),
+                 "C": ints(rng, (NI, NJ, NK))}, {})
+
+    def ref(a, sc):
+        return {"C": a["C"] + a["A"] * a["B"][None, :, :]}, {}
+
+    return Workload("nasa7-1", "SPEC", 1, 256, 3, "doall", False, build, data, ref)
+
+
+def _nasa7_2() -> Workload:
+    NI, NJ, NK = 64, 2, 2
+
+    def build():
+        i, j, k, q, r, t = var("i"), var("j"), var("k"), var("q"), var("r"), var("t")
+        return Kernel(
+            "nasa7-2",
+            arrays={"A": ArrayDecl(_F, (NI, NJ, NK)),
+                    "B": ArrayDecl(_F, (NI + 1, NJ, NK)),
+                    "C": ArrayDecl(_F, (NI, NJ, NK))},
+            scalars={"q": _F, "r": _F, "t": _F},
+            body=[do("k", 1, NK, [do("j", 1, NJ, [do("i", 1, NI, [
+                assign(t, aref("A", i, j, k) * q),
+                assign(aref("B", i + 1, j, k), t + aref("B", i, j, k)),
+                assign(aref("C", i, j, k), t * r),
+            ], kind="doacross")])])],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, (NI, NJ, NK), 1, 3),
+                 "B": ints(rng, (NI + 1, NJ, NK), 1, 3),
+                 "C": np.zeros((NI, NJ, NK))}, {"q": 0.5, "r": 2.0})
+
+    def ref(a, sc):
+        B = a["B"].copy()
+        C = np.zeros((NI, NJ, NK))
+        for k in range(NK):
+            for j in range(NJ):
+                for i in range(NI):
+                    t = a["A"][i, j, k] * sc["q"]
+                    B[i + 1, j, k] = t + B[i, j, k]
+                    C[i, j, k] = t * sc["r"]
+        return {"B": B, "C": C}, {}
+
+    return Workload("nasa7-2", "SPEC", 3, 1000, 3, "doacross", False, build, data, ref)
+
+
+def _tomcatv1() -> Workload:
+    """Mesh-generation sweep: neighbor reads, distinct output arrays
+    (DOALL), long arithmetic chains (tree-height-reduction fodder)."""
+    NI, NJ = 66, 2
+
+    def build():
+        i, j = var("i"), var("j")
+        t = {k: var(f"t{k}") for k in range(1, 14)}
+        X, Y = aref("X", i, j), aref("Y", i, j)
+        return Kernel(
+            "tomcatv-1",
+            arrays={n: ArrayDecl(_F, (NI, NJ)) for n in
+                    ("X", "Y", "RX", "RY", "AA", "DD")},
+            scalars={f"t{k}": _F for k in range(1, 14)},
+            body=[do("j", 1, NJ, [do("i", 2, NI - 1, [
+                assign(t[1], aref("X", i + 1, j)),              # 1
+                assign(t[2], aref("X", i - 1, j)),              # 2
+                assign(t[3], aref("Y", i + 1, j)),              # 3
+                assign(t[4], aref("Y", i - 1, j)),              # 4
+                assign(t[5], t[1] - t[2]),                      # 5  dx
+                assign(t[6], t[3] - t[4]),                      # 6  dy
+                assign(t[7], X * 2.0),                          # 7
+                assign(t[8], t[1] + t[2] - t[7]),               # 8  xxx
+                assign(t[9], Y * 2.0),                          # 9
+                assign(t[10], t[3] + t[4] - t[9]),              # 10 yxx
+                assign(aref("RX", i, j), t[8] * t[5] + t[10] * t[6]),   # 11
+                assign(aref("RY", i, j), t[8] * t[6] - t[10] * t[5]),   # 12
+                assign(t[11], t[5] * t[5]),                     # 13
+                assign(t[12], t[6] * t[6]),                     # 14
+                assign(aref("AA", i, j), t[11] + t[12]),        # 15
+                assign(t[13], t[11] - t[12]),                   # 16
+                assign(aref("DD", i, j), t[13] * 0.25),         # 17
+            ], kind="doall")])],
+        )
+
+    def data(rng):
+        return ({"X": ints(rng, (NI, NJ), 1, 5), "Y": ints(rng, (NI, NJ), 1, 5),
+                 "RX": np.zeros((NI, NJ)), "RY": np.zeros((NI, NJ)),
+                 "AA": np.zeros((NI, NJ)), "DD": np.zeros((NI, NJ))}, {})
+
+    def ref(a, sc):
+        X, Y = a["X"], a["Y"]
+        RX = np.zeros((NI, NJ))
+        RY = np.zeros((NI, NJ))
+        AA = np.zeros((NI, NJ))
+        DD = np.zeros((NI, NJ))
+        for j in range(NJ):
+            for i in range(1, NI - 1):
+                dx = X[i + 1, j] - X[i - 1, j]
+                dy = Y[i + 1, j] - Y[i - 1, j]
+                xxx = X[i + 1, j] + X[i - 1, j] - 2.0 * X[i, j]
+                yxx = Y[i + 1, j] + Y[i - 1, j] - 2.0 * Y[i, j]
+                RX[i, j] = xxx * dx + yxx * dy
+                RY[i, j] = xxx * dy - yxx * dx
+                AA[i, j] = dx * dx + dy * dy
+                DD[i, j] = (dx * dx - dy * dy) * 0.25
+        return {"RX": RX, "RY": RY, "AA": AA, "DD": DD}, {}
+
+    return Workload("tomcatv-1", "SPEC", 21, 255, 2, "doall", False, build, data, ref)
+
+
+def _tomcatv2() -> Workload:
+    """Residual-maximum search with absolute values (serial, conds)."""
+    NI, NJ = 96, 2
+
+    def build():
+        i, j = var("i"), var("j")
+        rx, ry, m = var("rx"), var("ry"), var("m")
+        return Kernel(
+            "tomcatv-2",
+            arrays={"RX": ArrayDecl(_F, (NI, NJ)), "RY": ArrayDecl(_F, (NI, NJ))},
+            scalars={"rx": _F, "ry": _F, "m": _F},
+            outputs=["m"],
+            body=[do("j", 1, NJ, [do("i", 1, NI, [
+                assign(rx, aref("RX", i, j)),                       # 1
+                if_(rx < 0.0, [assign(rx, 0.0 - rx)], p_then=0.5),  # 2 (+1)
+                assign(ry, aref("RY", i, j)),                       # 4
+                if_(ry < 0.0, [assign(ry, 0.0 - ry)], p_then=0.5),  # 5 (+1)
+                if_(rx > var("m"), [assign(var("m"), rx)], p_then=0.3),  # 7 (+1)
+                if_(ry > var("m"), [assign(var("m"), ry)], p_then=0.3),
+            ], kind="serial")])],
+        )
+
+    def data(rng):
+        return ({"RX": ints(rng, (NI, NJ), -9, 9), "RY": ints(rng, (NI, NJ), -9, 9)},
+                {"m": 0.0})
+
+    def ref(a, sc):
+        m = max(sc["m"], float(np.abs(a["RX"]).max()), float(np.abs(a["RY"]).max()))
+        return {}, {"m": m}
+
+    return Workload("tomcatv-2", "SPEC", 8, 255, 2, "serial", True, build, data, ref)
+
+
+for _w in (_doduc1, _matrix300, _nasa7_1, _nasa7_2, _tomcatv1, _tomcatv2):
+    register(_w())

@@ -1,0 +1,144 @@
+"""The 5 vector library routines of Table 2."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frontend.ast import ArrayDecl, Kernel, Ty, aref, assign, do, if_, var
+from .corpus import Workload, ints, register
+
+_F = Ty.FP
+
+
+def _add() -> Workload:
+    N = 128
+
+    def build():
+        i = var("i")
+        return Kernel(
+            "add",
+            arrays={n: ArrayDecl(_F, (N,)) for n in "ABC"},
+            scalars={},
+            body=[do("i", 1, N, [
+                assign(aref("C", i), aref("A", i) + aref("B", i)),
+            ], kind="doall")],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, N), "B": ints(rng, N), "C": np.zeros(N)}, {})
+
+    def ref(a, s):
+        return {"C": a["A"] + a["B"]}, {}
+
+    return Workload("add", "VECTOR", 1, 1024, 1, "doall", False, build, data, ref)
+
+
+def _dotprod() -> Workload:
+    N = 128
+
+    def build():
+        i = var("i")
+        return Kernel(
+            "dotprod",
+            arrays={"A": ArrayDecl(_F, (N,)), "B": ArrayDecl(_F, (N,))},
+            scalars={"s": _F},
+            outputs=["s"],
+            body=[do("i", 1, N, [
+                assign(var("s"), var("s") + aref("A", i) * aref("B", i)),
+            ], kind="serial")],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, N), "B": ints(rng, N)}, {"s": 0.0})
+
+    def ref(a, s):
+        return {}, {"s": s["s"] + float(np.dot(a["A"], a["B"]))}
+
+    return Workload("dotprod", "VECTOR", 1, 1024, 1, "serial", False, build, data, ref)
+
+
+def _maxval() -> Workload:
+    N = 128
+
+    def build():
+        i, t = var("i"), var("t")
+        return Kernel(
+            "maxval",
+            arrays={"A": ArrayDecl(_F, (N,))},
+            scalars={"m": _F, "t": _F},
+            outputs=["m"],
+            body=[do("i", 1, N, [
+                assign(t, aref("A", i)),
+                # random data: the update is rare, so the trace skips it
+                if_(t > var("m"), [assign(var("m"), t)], p_then=0.2),
+            ], kind="serial")],
+        )
+
+    def data(rng):
+        return ({"A": rng.permutation(np.arange(1.0, N + 1))}, {"m": 0.0})
+
+    def ref(a, s):
+        return {}, {"m": max(s["m"], float(a["A"].max()))}
+
+    return Workload("maxval", "VECTOR", 3, 1024, 1, "serial", True, build, data, ref)
+
+
+def _merge() -> Workload:
+    N = 128
+
+    def build():
+        i, t, u = var("i"), var("t"), var("u")
+        return Kernel(
+            "merge",
+            arrays={n: ArrayDecl(_F, (N,)) for n in "ABC"},
+            scalars={"t": _F, "u": _F},
+            body=[do("i", 1, N, [
+                assign(t, aref("A", i)),
+                assign(u, aref("B", i)),
+                if_(t < u,
+                    [assign(aref("C", i), t)],
+                    [assign(aref("C", i), u)], p_then=0.85),
+            ], kind="doall")],
+        )
+
+    def data(rng):
+        # biased so the likely arm matches the trace choice (a profile)
+        A = ints(rng, N, 1, 4)
+        B = ints(rng, N, 4, 9)
+        swap = rng.random(N) < 0.15
+        A2, B2 = A.copy(), B.copy()
+        A2[swap], B2[swap] = B[swap], A[swap]
+        return ({"A": A2, "B": B2, "C": np.zeros(N)}, {})
+
+    def ref(a, s):
+        return {"C": np.minimum(a["A"], a["B"])}, {}
+
+    return Workload("merge", "VECTOR", 4, 1024, 1, "doall", True, build, data, ref)
+
+
+def _sum() -> Workload:
+    N = 128
+
+    def build():
+        i = var("i")
+        return Kernel(
+            "sum",
+            arrays={"A": ArrayDecl(_F, (N,))},
+            scalars={"s": _F},
+            outputs=["s"],
+            body=[do("i", 1, N, [
+                assign(var("s"), var("s") + aref("A", i)),
+            ], kind="serial")],
+        )
+
+    def data(rng):
+        return ({"A": ints(rng, N)}, {"s": 0.0})
+
+    def ref(a, s):
+        return {}, {"s": s["s"] + float(a["A"].sum())}
+
+    return Workload("sum", "VECTOR", 1, 1024, 1, "serial", False, build, data, ref)
+
+
+for _w in (_add, _dotprod, _maxval, _merge, _sum):
+    register(_w())

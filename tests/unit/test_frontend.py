@@ -1,0 +1,203 @@
+"""Unit tests for the kernel language: AST building, typing, lowering."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import (
+    ArrayDecl,
+    Kernel,
+    Ty,
+    TypeError_,
+    aref,
+    assign,
+    check_kernel,
+    do,
+    flt,
+    if_,
+    lower_kernel,
+    var,
+)
+from repro.harness import compile_kernel, run_compiled_kernel
+from repro.machine import unlimited
+from repro.pipeline import Level
+from repro.sim import Memory, simulate
+
+
+def simple_kernel(n=8, kind="doall"):
+    i = var("i")
+    return Kernel(
+        "k",
+        arrays={x: ArrayDecl(Ty.FP, (n,)) for x in "AB"},
+        scalars={"q": Ty.FP},
+        body=[do("i", 1, n, [assign(aref("B", i), aref("A", i) * var("q"))], kind=kind)],
+    )
+
+
+class TestTyping:
+    def test_valid_kernel_checks(self):
+        check_kernel(simple_kernel())
+
+    def test_undeclared_scalar(self):
+        k = simple_kernel()
+        k.body[0].body[0] = assign(aref("B", var("i")), var("zz"))
+        with pytest.raises(TypeError_):
+            check_kernel(k)
+
+    def test_undeclared_array(self):
+        i = var("i")
+        k = Kernel("k", arrays={}, scalars={},
+                   body=[do("i", 1, 4, [assign(aref("Q", i), 1.0)])])
+        with pytest.raises(TypeError_):
+            check_kernel(k)
+
+    def test_subscript_count_checked(self):
+        i = var("i")
+        k = Kernel("k", arrays={"A": ArrayDecl(Ty.FP, (4, 4))}, scalars={},
+                   body=[do("i", 1, 4, [assign(aref("A", i), 1.0)])])
+        with pytest.raises(TypeError_):
+            check_kernel(k)
+
+    def test_fp_subscript_rejected(self):
+        k = Kernel("k", arrays={"A": ArrayDecl(Ty.FP, (4,))},
+                   scalars={"x": Ty.FP},
+                   body=[do("i", 1, 4, [assign(aref("A", var("x")), 1.0)])])
+        with pytest.raises(TypeError_):
+            check_kernel(k)
+
+    def test_fp_to_int_assignment_rejected(self):
+        k = Kernel("k", arrays={}, scalars={"n": Ty.INT, "x": Ty.FP},
+                   body=[do("i", 1, 4, [assign(var("n"), var("x"))])])
+        with pytest.raises(TypeError_):
+            check_kernel(k)
+
+    def test_promotion_int_to_fp(self):
+        i = var("i")
+        k = Kernel("k", arrays={"A": ArrayDecl(Ty.FP, (4,))}, scalars={},
+                   body=[do("i", 1, 4, [assign(aref("A", i), flt(i) * 2.0)])])
+        check_kernel(k)
+
+    def test_outputs_must_be_scalars(self):
+        k = simple_kernel()
+        k.outputs = ["nope"]
+        with pytest.raises(TypeError_):
+            check_kernel(k)
+
+    def test_nest_depth(self):
+        i, j = var("i"), var("j")
+        k = Kernel("k", arrays={"A": ArrayDecl(Ty.FP, (4, 4))}, scalars={},
+                   body=[do("j", 1, 4, [do("i", 1, 4,
+                        [assign(aref("A", i, j), 1.0)])])])
+        assert k.nest_depth() == 2
+        assert k.inner_do().var == "i"
+
+
+class TestLowering:
+    def test_lowered_kernel_verifies_and_runs(self):
+        lk = lower_kernel(simple_kernel())
+        mem = Memory()
+        A = np.arange(1.0, 9.0)
+        mem.bind_array("A", A)
+        mem.bind_array("B", np.zeros(8))
+        q = lk.scalar_regs["q"]
+        simulate(lk.func, unlimited(), mem, fregs={q.id: 2.0})
+        assert np.array_equal(mem.read_array("B", (8,)), A * 2.0)
+
+    def test_counted_loop_metadata(self):
+        lk = lower_kernel(simple_kernel())
+        c = lk.counted[lk.inner_header]
+        assert c.step == 1
+        assert c.header == lk.inner_header
+
+    def test_inner_kind_propagated(self):
+        assert lower_kernel(simple_kernel(kind="doall")).inner_kind == "doall"
+        assert lower_kernel(simple_kernel(kind="serial")).inner_kind == "serial"
+
+    def test_column_major_2d_addressing(self):
+        i, j = var("i"), var("j")
+        k = Kernel(
+            "k",
+            arrays={"A": ArrayDecl(Ty.FP, (3, 2)), "B": ArrayDecl(Ty.FP, (3, 2))},
+            scalars={},
+            body=[do("j", 1, 2, [do("i", 1, 3,
+                    [assign(aref("B", i, j), aref("A", i, j) + 1.0)])])],
+        )
+        lk = lower_kernel(k)
+        mem = Memory()
+        A = np.arange(1.0, 7.0).reshape((3, 2), order="F")
+        mem.bind_array("A", A)
+        mem.bind_array("B", np.zeros((3, 2)))
+        simulate(lk.func, unlimited(), mem)
+        assert np.array_equal(mem.read_array("B", (3, 2)), A + 1.0)
+
+    def test_constant_subscripts_fold(self):
+        k = Kernel(
+            "k",
+            arrays={"A": ArrayDecl(Ty.FP, (4,))},
+            scalars={"x": Ty.FP},
+            outputs=["x"],
+            body=[do("i", 1, 2, [assign(var("x"), aref("A", 3))])],
+        )
+        lk = lower_kernel(k)
+        mem = Memory()
+        mem.bind_array("A", np.array([1.0, 2.0, 3.0, 4.0]))
+        res = simulate(lk.func, unlimited(), mem)
+        assert res.fregs[lk.scalar_regs["x"].id] == 3.0
+
+    def test_if_else_lowering(self):
+        i = var("i")
+        k = Kernel(
+            "k",
+            arrays={"A": ArrayDecl(Ty.FP, (6,)), "B": ArrayDecl(Ty.FP, (6,))},
+            scalars={},
+            body=[do("i", 1, 6, [
+                if_(aref("A", i) > 3.0,
+                    [assign(aref("B", i), 1.0)],
+                    [assign(aref("B", i), -1.0)])])],
+        )
+        lk = lower_kernel(k)
+        mem = Memory()
+        A = np.array([1.0, 5.0, 2.0, 9.0, 3.0, 4.0])
+        mem.bind_array("A", A)
+        mem.bind_array("B", np.zeros(6))
+        simulate(lk.func, unlimited(), mem)
+        assert np.array_equal(mem.read_array("B", (6,)), np.where(A > 3.0, 1.0, -1.0))
+
+    def test_neg_and_mod(self):
+        k = Kernel(
+            "k",
+            arrays={},
+            scalars={"a": Ty.INT, "b": Ty.INT, "c": Ty.INT, "d": Ty.FP},
+            outputs=["c", "d"],
+            body=[do("i", 1, 2, [
+                assign(var("c"), var("a") % var("b")),
+                assign(var("d"), -flt(var("a"))),
+            ])],
+        )
+        lk = lower_kernel(k)
+        res = simulate(
+            lk.func, unlimited(), Memory(),
+            iregs={lk.scalar_regs["a"].id: 17, lk.scalar_regs["b"].id: 5},
+        )
+        assert res.iregs[lk.scalar_regs["c"].id] == 2
+        assert res.fregs[lk.scalar_regs["d"].id] == -17.0
+
+
+class TestHarness:
+    def test_run_compiled_kernel_outputs(self):
+        k = simple_kernel()
+        ck = compile_kernel(k, Level.CONV, unlimited())
+        A = np.arange(1.0, 9.0)
+        out = run_compiled_kernel(ck, arrays={"A": A, "B": np.zeros(8)},
+                                  scalars={"q": 3.0})
+        assert np.array_equal(out.arrays["B"], A * 3.0)
+        assert out.cycles > 0 and out.ipc > 0
+
+    def test_missing_array_rejected(self):
+        ck = compile_kernel(simple_kernel(), Level.CONV, unlimited())
+        with pytest.raises(ValueError):
+            run_compiled_kernel(ck, arrays={"A": np.zeros(8)})
+
+    def test_wrong_size_rejected(self):
+        ck = compile_kernel(simple_kernel(), Level.CONV, unlimited())
+        with pytest.raises(ValueError):
+            run_compiled_kernel(ck, arrays={"A": np.zeros(4), "B": np.zeros(8)})

@@ -1,0 +1,136 @@
+"""Unit tests for dominators, natural-loop discovery, and preheaders."""
+
+import pytest
+
+from repro.ir import parse_function
+from repro.ir.loop import (
+    dominators,
+    ensure_preheader,
+    find_loops,
+    innermost_loops,
+    reverse_postorder,
+)
+
+NESTED = """
+function t:
+entry:
+OUT:
+  r1i = 0
+IN:
+  r1i = r1i + 1
+  blt (r1i r2i) IN
+TAIL:
+  r3i = r3i + 1
+  blt (r3i r4i) OUT
+exit:
+  halt
+"""
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        f = parse_function(NESTED)
+        dom = dominators(f)
+        for lab in ("OUT", "IN", "TAIL", "exit"):
+            assert "entry" in dom[lab]
+
+    def test_linear_chain(self):
+        f = parse_function(NESTED)
+        dom = dominators(f)
+        assert "OUT" in dom["IN"]
+        assert "IN" in dom["TAIL"]
+
+    def test_branch_arms_not_dominating_join(self):
+        f = parse_function(
+            """
+function t:
+A:
+  blt (r1i r2i) C
+B:
+  jmp D
+C:
+  nop
+D:
+  halt
+"""
+        )
+        dom = dominators(f)
+        assert "B" not in dom["D"] and "C" not in dom["D"]
+        assert "A" in dom["D"]
+
+    def test_reverse_postorder_starts_at_entry(self):
+        f = parse_function(NESTED)
+        rpo = reverse_postorder(f)
+        assert rpo[0] == "entry"
+        assert rpo.index("OUT") < rpo.index("IN")
+
+
+class TestFindLoops:
+    def test_nested_loops_found(self):
+        f = parse_function(NESTED)
+        loops = find_loops(f)
+        headers = {l.header for l in loops}
+        assert headers == {"OUT", "IN"}
+
+    def test_nesting_relation(self):
+        f = parse_function(NESTED)
+        loops = {l.header: l for l in find_loops(f)}
+        assert loops["IN"].parent is loops["OUT"]
+        assert loops["IN"] in loops["OUT"].children
+        assert loops["OUT"].depth == 1 and loops["IN"].depth == 2
+
+    def test_innermost(self):
+        f = parse_function(NESTED)
+        inner = innermost_loops(f)
+        assert [l.header for l in inner] == ["IN"]
+
+    def test_loop_blocks_and_latches(self):
+        f = parse_function(NESTED)
+        loops = {l.header: l for l in find_loops(f)}
+        assert loops["IN"].blocks == {"IN"}
+        assert loops["IN"].latches == ["IN"]
+        assert loops["OUT"].blocks == {"OUT", "IN", "TAIL"}
+        assert loops["OUT"].latches == ["TAIL"]
+
+    def test_exit_edges(self):
+        f = parse_function(NESTED)
+        loops = {l.header: l for l in find_loops(f)}
+        assert loops["IN"].exit_edges(f) == [("IN", "TAIL")]
+
+    def test_no_loops(self):
+        f = parse_function("function t:\nA:\n  nop\nB:\n  halt\n")
+        assert find_loops(f) == []
+
+
+class TestEnsurePreheader:
+    def test_existing_preheader_reused(self):
+        f = parse_function(NESTED)
+        loops = {l.header: l for l in find_loops(f)}
+        ph = ensure_preheader(f, loops["IN"])
+        # OUT ends by falling into IN and is its only outside predecessor
+        assert ph.label == "OUT"
+        assert ensure_preheader(f, loops["IN"]) is ph
+
+    def test_created_when_header_has_many_preds(self):
+        f = parse_function(
+            """
+function t:
+A:
+  blt (r1i r2i) L
+B:
+  jmp L
+L:
+  r1i = r1i + 1
+  blt (r1i r3i) L
+exit:
+  halt
+"""
+        )
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        n_before = len(f.blocks)
+        ph = ensure_preheader(f, loop)
+        assert len(f.blocks) == n_before + 1
+        # both outside entries route through the new preheader
+        preds = f.predecessors()
+        assert set(preds["L"]) == {ph.label, "L"}
+        assert f.successors(ph) == ["L"]

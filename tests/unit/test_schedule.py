@@ -1,0 +1,226 @@
+"""Unit tests for superblock formation and list scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.depgraph import build_depgraph
+from repro.ir import Op, int_reg, parse_block, parse_function
+from repro.ir.loop import find_loops
+from repro.machine import MachineConfig, issue1, issue2, unlimited
+from repro.schedule.listsched import list_schedule
+from repro.schedule.superblock import (
+    FormationError,
+    form_superblock,
+    select_trace,
+)
+from repro.sim import Memory, simulate
+
+
+class TestListSchedule:
+    def test_respects_all_dependences(self):
+        body = parse_block(
+            """
+            r1f = MEM(A+r2i)
+            r3f = r1f * r4f
+            MEM(B+r2i) = r3f
+            r2i = r2i + 4
+            blt (r2i r5i) L
+            """
+        ).instrs
+        g = build_depgraph(body, unlimited())
+        s = list_schedule(body, unlimited(), depgraph=g)
+        pos = {id(ins): k for k, ins in enumerate(s.order)}
+        times = {id(ins): t for ins, t in s.pairs()}
+        for i in range(len(body)):
+            for j, w in g.succs[i]:
+                assert pos[id(body[i])] < pos[id(body[j])]
+                assert times[id(body[j])] >= times[id(body[i])] + w
+
+    def test_issue_times_nondecreasing(self):
+        body = parse_block(
+            "r1i = r2i + 1\nr3i = r1i + 1\nr4i = r2i + 2\nr5i = r4i * r3i\n"
+        ).instrs
+        for width in (1, 2, 4, 0):
+            s = list_schedule(body, MachineConfig(issue_width=width))
+            assert s.issue == sorted(s.issue)
+
+    def test_width_one_is_serial(self):
+        body = parse_block("\n".join(f"r{k}i = 1" for k in range(1, 6))).instrs
+        s = list_schedule(body, issue1())
+        assert s.issue == list(range(5))
+
+    def test_branch_closes_packet(self):
+        body = parse_block(
+            "blt (r1i r2i) X\nr3i = 1\n"
+        ).instrs
+        s = list_schedule(body, unlimited(), exit_live={0: {int_reg(3)}})
+        # r3i write is live at the exit: cannot speculate above the branch
+        times = dict(s.pairs())
+        br = body[0]
+        mov = body[1]
+        assert times[mov] >= times[br] + 1
+
+    def test_speculation_fills_packet(self):
+        body = parse_block(
+            "blt (r1i r2i) X\nr3f = MEM(A+r1i)\n"
+        ).instrs
+        s = list_schedule(body, unlimited(), exit_live={0: set()})
+        times = dict(s.pairs())
+        assert times[body[1]] == 0  # load speculated into the first cycle
+
+    def test_critical_path_prioritized(self):
+        # a long chain and an independent cheap op competing at width 1:
+        # the chain head must go first
+        body = parse_block(
+            """
+            r1f = r2f * r3f
+            r4f = r1f * r5f
+            r6f = r4f * r7f
+            r8i = 1
+            """
+        ).instrs
+        s = list_schedule(body, issue1())
+        assert s.order[0] is body[0]
+
+    def test_empty_region(self):
+        s = list_schedule([], unlimited())
+        assert s.makespan == 0
+
+
+class TestSuperblockFormation:
+    def single_loop(self):
+        return parse_function(
+            """
+function t:
+entry:
+L:
+  r2f = MEM(A+r1i)
+  MEM(B+r1i) = r2f
+  r1i = r1i + 4
+  blt (r1i r5i) L
+exit:
+  halt
+"""
+        )
+
+    def test_single_block_loop(self):
+        f = self.single_loop()
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        sb = form_superblock(f, loop)
+        assert sb.body.label == "L"
+        assert sb.offtrace == set()
+        assert sb.backedge.target.name == "L"
+        assert sb.exit_block is not None
+
+    def test_triangle_tail_duplication(self):
+        f = parse_function(
+            """
+function t:
+entry:
+L:
+  r2f = MEM(A+r1i)
+  fble (r2f r3f) J
+T:
+  r3f = r2f
+J:
+  r1i = r1i + 4
+  blt (r1i r5i) L
+exit:
+  halt
+"""
+        )
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        sb = form_superblock(f, loop)
+        # the skip branch became a side exit into a duplicated tail
+        exits = sb.side_exit_positions()
+        assert len(exits) == 1
+        tgt = sb.body.instrs[exits[0]].target.name
+        assert tgt in sb.offtrace
+        # the duplicated tail finishes the iteration and rejoins the header
+        dup = f.get_block(tgt)
+        labels_seen = set()
+        cur = dup
+        for _ in range(10):
+            labels_seen.add(cur.label)
+            t = cur.terminator
+            if t is not None and t.target is not None and t.target.name == "L":
+                break
+            nxt = f.successors(cur)
+            cur = f.get_block(nxt[0])
+        else:
+            pytest.fail("off-trace path never rejoins the header")
+
+    def test_diamond_likely_arm_in_trace(self):
+        src = """
+function t:
+entry:
+L:
+  r2f = MEM(A+r1i)
+  fbge (r2f r3f) E
+T:
+  MEM(B+r1i) = r2f
+  jmp J
+E:
+  MEM(C+r1i) = r2f
+J:
+  r1i = r1i + 4
+  blt (r1i r5i) L
+exit:
+  halt
+"""
+        f = parse_function(src)
+        f.get_block("L").instrs[1].prob = 0.2  # likely fall-through (T)
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        trace = select_trace(f, loop)
+        assert trace == ["L", "T", "J"]
+
+        f2 = parse_function(src)
+        f2.get_block("L").instrs[1].prob = 0.8  # likely taken (E)
+        loop2 = next(l for l in find_loops(f2) if l.header == "L")
+        assert select_trace(f2, loop2) == ["L", "E", "J"]
+
+    def test_formation_preserves_semantics(self):
+        f = parse_function(
+            """
+function t:
+entry:
+L:
+  r2f = MEM(A+r1i)
+  fble (r2f r3f) J
+T:
+  r3f = r2f
+J:
+  r1i = r1i + 4
+  blt (r1i r5i) L
+exit:
+  halt
+"""
+        )
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        form_superblock(f, loop)
+        n = 16
+        mem = Memory()
+        rng = np.random.default_rng(3)
+        A = rng.permutation(np.arange(1.0, n + 1))
+        mem.bind_array("A", A)
+        res = simulate(f, unlimited(), mem, iregs={1: 0, 5: 4 * n},
+                       fregs={3: 0.0})
+        assert res.fregs[3] == A.max()
+
+    def test_multi_latch_rejected(self):
+        f = parse_function(
+            """
+function t:
+entry:
+L:
+  blt (r1i r2i) L
+B:
+  r1i = r1i + 1
+  blt (r1i r3i) L
+exit:
+  halt
+"""
+        )
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        with pytest.raises(FormationError):
+            select_trace(f, loop)

