@@ -1,0 +1,85 @@
+"""Wall-clock benchmark: fast sweep engine vs. the seed engine.
+
+Runs a fixed small grid twice — once through the seed revision's path
+(full recompilation per cell, dict-bank interpreter; see
+``legacy_engine``) and once through the current engine (width-sharded
+compilation reuse, flat-bank interpreter) — asserts the results are
+identical, and records the wall-clock comparison in
+``results/BENCH_sweep.json``.
+
+Both runs are serial single-process: the speedup shown is the
+algorithmic one (compilation reuse + interpreter), independent of
+``--jobs`` parallelism.
+"""
+
+import json
+import time
+
+from legacy_engine import legacy_run_config
+from repro.experiments.sweep import default_cache_path, run_sweep
+from repro.machine import MachineConfig
+from repro.pipeline import Level
+from repro.workloads import get_workload
+
+#: small but representative: FP DOALL, reductions, a search loop with
+#: side exits, and two simulation-heavy nests (NAS-5, tomcatv-1)
+GRID_WORKLOADS = ("add", "dotprod", "sum", "maxval", "NAS-5", "tomcatv-1")
+GRID_LEVELS = tuple(Level)
+GRID_WIDTHS = (1, 2, 4, 8)
+
+
+def _grid_workloads():
+    names = []
+    for n in GRID_WORKLOADS:
+        try:
+            get_workload(n)
+            names.append(n)
+        except KeyError:
+            continue  # keep the bench robust to corpus renames
+    return [get_workload(n) for n in names]
+
+
+def test_sweep_engine_speedup():
+    wls = _grid_workloads()
+    assert len(wls) >= 3
+
+    t0 = time.perf_counter()
+    old = {}
+    for w in wls:
+        for level in GRID_LEVELS:
+            for width in GRID_WIDTHS:
+                r = legacy_run_config(w, level, MachineConfig(issue_width=width))
+                old[(w.name, int(level), width)] = r
+    t_old = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    new = run_sweep(wls, GRID_LEVELS, GRID_WIDTHS)
+    t_new = time.perf_counter() - t0
+
+    # same grid, identical numbers
+    assert set(new.results.keys()) == set(old.keys())
+    for k, r in new.results.items():
+        assert old[k] == (r.workload, r.level, r.width, r.cycles,
+                          r.instructions, r.inner_makespan, r.int_regs,
+                          r.fp_regs), k
+
+    speedup = t_old / t_new
+    payload = {
+        "grid": {
+            "workloads": [w.name for w in wls],
+            "levels": [int(lv) for lv in GRID_LEVELS],
+            "widths": list(GRID_WIDTHS),
+            "configs": len(old),
+        },
+        "old_engine_s": round(t_old, 3),
+        "new_engine_s": round(t_new, 3),
+        "speedup": round(speedup, 2),
+        "identical_results": True,
+    }
+    out = default_cache_path().parent / "BENCH_sweep.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nold engine: {t_old:.2f}s  new engine: {t_new:.2f}s  "
+          f"speedup: {speedup:.2f}x  ({len(old)} configs) -> {out}")
+
+    assert speedup >= 2.0, f"sweep engine speedup regressed: {speedup:.2f}x"

@@ -1,0 +1,249 @@
+"""The seed sweep engine, preserved as a benchmark baseline.
+
+``bench_sweep_perf`` measures the fast sweep engine against what the
+repository did before it existed.  Two pieces are copied from the seed
+revision rather than re-derived, so the baseline stays honest:
+
+* :func:`legacy_run_compiled` — the original interpreter: dict register
+  banks and per-instruction attribute chasing over
+  ``CompiledProgram.blocks`` (the structured :class:`CompiledInstr` view,
+  which the executor still builds).
+* :func:`legacy_run_config` — the original per-configuration path: a
+  full ``compile_kernel`` from source for every (workload, level, width)
+  cell, fresh inputs per cell, and a private copy of every input array.
+
+Both produce results identical to the current engine (the benchmark
+asserts this), they just spend more time doing it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend.ast import Ty
+from repro.harness import CompiledKernel, compile_kernel
+from repro.machine import MachineConfig
+from repro.pipeline import Level
+from repro.regalloc import measure_register_usage
+from repro.sim import Memory, SimMemoryError
+from repro.sim.executor import (
+    C_ALU,
+    C_BRANCH,
+    C_HALT,
+    C_JUMP,
+    C_LOAD,
+    C_STORE,
+    CONST,
+    CompiledProgram,
+)
+from repro.sim.simulator import RunResult, SimulationError
+from repro.workloads import Workload, check_run
+
+
+def legacy_run_compiled(
+    prog: CompiledProgram,
+    memory: Memory,
+    iregs: dict[int, int],
+    fregs: dict[int, float],
+    max_cycles: int = 200_000_000,
+) -> RunResult:
+    """The seed revision's interpreter loop, verbatim (minus tracing)."""
+    machine = prog.machine
+    width = machine.issue_width if machine.issue_width > 0 else 1 << 30
+    slot_limits = machine.slot_limits
+
+    mem = memory._words
+    ivals: dict[int, int] = dict(iregs)
+    fvals: dict[int, float] = dict(fregs)
+    iready: dict[int, int] = {}
+    fready: dict[int, int] = {}
+    banks_vals = (ivals, fvals)
+    banks_ready = (iready, fready)
+
+    blocks = prog.blocks
+    tindex = prog.target_index
+
+    cycle = 0
+    n_instr = 0
+    last_issue = -1
+    bi = 0
+    ii = 0
+    nblocks = len(blocks)
+
+    while bi < nblocks and not blocks[bi].code:
+        nxt = blocks[bi].next_index
+        if nxt is None:
+            return RunResult(0, 0, ivals, fvals, memory, {})
+        bi = nxt
+
+    running = True
+    while running:
+        if cycle > max_cycles:
+            raise SimulationError(
+                f"exceeded {max_cycles} cycles in {prog.func.name}"
+            )
+        issued = 0
+        slot_used: dict = {}
+        while True:
+            code = blocks[bi].code
+            if ii >= len(code):
+                nxt = blocks[bi].next_index
+                if nxt is None:
+                    running = False
+                    break
+                bi = nxt
+                ii = 0
+                continue
+            if issued >= width:
+                break
+            ci = code[ii]
+            cat = ci.cat
+
+            need = cycle
+            for bank, key in ci.srcs:
+                if bank == CONST:
+                    continue
+                t = banks_ready[bank].get(key, 0)
+                if t > need:
+                    need = t
+            d = ci.dest
+            if d is not None:
+                prev = banks_ready[d[0]].get(d[1], 0)
+                t = prev - ci.lat + 1
+                if t > need:
+                    need = t
+            if need > cycle:
+                if issued == 0:
+                    cycle = need
+                else:
+                    break
+            if slot_limits:
+                k = ci.kind
+                lim = slot_limits.get(k)
+                if lim is not None:
+                    used = slot_used.get(k, 0)
+                    if used >= lim:
+                        break
+                    slot_used[k] = used + 1
+
+            if cat == C_ALU:
+                vals = [
+                    key if bank == CONST else banks_vals[bank][key]
+                    for bank, key in ci.srcs
+                ]
+                try:
+                    res = ci.fn(*vals)
+                except ZeroDivisionError:
+                    raise SimulationError(
+                        f"division by zero: {ci.instr!r}") from None
+                banks_vals[d[0]][d[1]] = res
+                banks_ready[d[0]][d[1]] = cycle + ci.lat
+            elif cat == C_LOAD:
+                b0, k0 = ci.srcs[0]
+                b1, k1 = ci.srcs[1]
+                addr = (k0 if b0 == CONST else ivals[k0]) + (
+                    k1 if b1 == CONST else ivals[k1]
+                )
+                try:
+                    banks_vals[d[0]][d[1]] = mem[addr >> 2]
+                except KeyError:
+                    raise SimMemoryError(
+                        f"load from uninitialized address {addr:#x}"
+                    ) from None
+                banks_ready[d[0]][d[1]] = cycle + ci.lat
+            elif cat == C_STORE:
+                b0, k0 = ci.srcs[0]
+                b1, k1 = ci.srcs[1]
+                bv, kv = ci.srcs[2]
+                addr = (k0 if b0 == CONST else ivals[k0]) + (
+                    k1 if b1 == CONST else ivals[k1]
+                )
+                mem[addr >> 2] = kv if bv == CONST else banks_vals[bv][kv]
+            elif cat == C_BRANCH:
+                vals = [
+                    key if bank == CONST else banks_vals[bank][key]
+                    for bank, key in ci.srcs
+                ]
+                n_instr += 1
+                issued += 1
+                last_issue = cycle
+                if ci.fn(*vals):
+                    bi = tindex[ci.target]
+                    ii = 0
+                else:
+                    ii += 1
+                break
+            elif cat == C_HALT:
+                n_instr += 1
+                issued += 1
+                last_issue = cycle
+                running = False
+                break
+            elif cat == C_JUMP:
+                n_instr += 1
+                issued += 1
+                last_issue = cycle
+                bi = tindex[ci.target]
+                ii = 0
+                break
+
+            n_instr += 1
+            issued += 1
+            last_issue = cycle
+            ii += 1
+
+        cycle += 1
+
+    return RunResult(last_issue + 1, n_instr, ivals, fvals, memory, {})
+
+
+def legacy_run_kernel(ck: CompiledKernel, arrays: dict, scalars: dict):
+    """``run_compiled_kernel`` against the legacy interpreter, with a
+    fresh (unmemoized) ``CompiledProgram`` per call as the seed did."""
+    kernel = ck.lowered.kernel
+    mem = Memory()
+    for name, decl in kernel.arrays.items():
+        mem.bind_array(name, np.asarray(arrays[name]))
+    iregs: dict[int, int] = {}
+    fregs: dict[int, float] = {}
+    for name, reg in ck.lowered.scalar_regs.items():
+        ty = kernel.scalars.get(name)
+        if ty is None:
+            continue
+        val = scalars.get(name, 0)
+        if ty is Ty.FP:
+            fregs[reg.id] = float(val)
+        else:
+            iregs[reg.id] = int(val)
+    prog = CompiledProgram(ck.func, ck.machine, mem.symbols)
+    res = legacy_run_compiled(prog, mem, iregs, fregs)
+    out_arrays = {
+        name: mem.read_array(
+            name, decl.dims, np.float64 if decl.ty is Ty.FP else np.int64
+        )
+        for name, decl in kernel.arrays.items()
+    }
+    out_scalars: dict[str, float | int] = {}
+    for name in kernel.outputs:
+        reg = ck.lowered.scalar_regs[name]
+        bank = res.fregs if reg.is_fp else res.iregs
+        out_scalars[name] = bank[reg.id] if reg.id in bank else scalars.get(name, 0)
+    return res, out_arrays, out_scalars
+
+
+def legacy_run_config(
+    w: Workload, level: Level, machine: MachineConfig, seed: int = 0,
+    check: bool = True,
+) -> tuple:
+    """The seed's per-configuration path: everything from scratch."""
+    arrays, scalars = w.make_inputs(seed)
+    ck = compile_kernel(w.build(), level, machine)
+    res, out_arrays, out_scalars = legacy_run_kernel(
+        ck, {k: v.copy() for k, v in arrays.items()}, scalars
+    )
+    if check:
+        check_run(w, out_arrays, out_scalars, arrays, scalars)
+    usage = measure_register_usage(ck.func, ck.lowered.live_out_exit)
+    return (w.name, int(level), machine.issue_width, res.cycles,
+            res.instructions, ck.inner_makespan, usage.int_regs,
+            usage.fp_regs)

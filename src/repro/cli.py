@@ -4,7 +4,8 @@
     python -m repro show dotprod                 # FORTRAN-style source + metadata
     python -m repro compile dotprod --level 4    # IR at each pipeline stage
     python -m repro run dotprod --level 4 --width 8 [--all-levels]
-    python -m repro sweep [--force]              # full grid -> results/
+    python -m repro sweep [--force] [--jobs N]   # full grid -> results/
+    python -m repro sweep --workloads add,sum --jobs 2   # subset smoke run
     python -m repro mii dotprod                  # software-pipelining bounds
 """
 
@@ -94,9 +95,31 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    if args.workloads:
+        # subset sweep (smoke tests / CI): no figure rendering, prints a
+        # per-configuration summary instead
+        from pathlib import Path
+
+        from .experiments.sweep import run_sweep
+
+        wls = [get_workload(n) for n in args.workloads.split(",")]
+        journal = Path(args.journal) if args.journal else None
+        data = run_sweep(wls, verbose=True, jobs=args.jobs, journal=journal,
+                         resume=not args.force)
+        for (name, level, width), r in data.results.items():
+            print(f"{name:<14}{Level(level).label:<6}issue-{width}: "
+                  f"{r.cycles} cycles, {r.instructions} instrs, "
+                  f"{r.total_regs} regs  [checked]")
+        print(f"{data.computed} computed, {data.reused} resumed "
+              f"in {data.elapsed:.1f}s ({args.jobs} jobs)")
+        return 0
+
     from .experiments.run_all import main as run_all_main
 
-    return run_all_main(["--force"] if args.force else [])
+    argv = ["--jobs", str(args.jobs)]
+    if args.force:
+        argv.append("--force")
+    return run_all_main(argv)
 
 
 def cmd_mii(args) -> int:
@@ -142,6 +165,14 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("sweep", help="run the full evaluation grid")
     p.add_argument("--force", action="store_true")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (default: 1)")
+    p.add_argument("--workloads", metavar="A,B,...",
+                   help="comma-separated subset: sweep only these loops "
+                        "and print a summary instead of the figures")
+    p.add_argument("--journal", metavar="PATH",
+                   help="JSONL journal for a --workloads sweep (enables "
+                        "resuming an interrupted run)")
 
     p = sub.add_parser("mii", help="software-pipelining bounds per level")
     p.add_argument("workload")

@@ -77,9 +77,13 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--force", action="store_true", help="recompute the sweep")
     ap.add_argument("--quiet", action="store_true", help="do not print figures")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes for the sweep (default: 1); "
+                         "results are identical at any job count")
     args = ap.parse_args(argv)
 
-    data = sweep_cached(force=args.force, verbose=not args.quiet)
+    data = sweep_cached(force=args.force, verbose=not args.quiet,
+                        jobs=args.jobs)
     outdir = default_cache_path().parent
     outdir.mkdir(parents=True, exist_ok=True)
 
@@ -91,7 +95,9 @@ def main(argv=None) -> int:
             print()
             print(text)
     print(f"\nwrote {len(texts)} artifacts to {outdir}/ "
-          f"(sweep {data.elapsed:.1f}s)", file=sys.stderr)
+          f"(sweep {data.elapsed:.1f}s, {data.computed} computed"
+          + (f", {data.reused} resumed" if data.reused else "") + ")",
+          file=sys.stderr)
     return 0
 
 

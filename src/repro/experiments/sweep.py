@@ -6,6 +6,23 @@ simulation; speedups are relative to the issue-1 processor with
 conventional (Conv) optimization; register usage is the colored
 int+fp total of the compiled loop nest.
 
+The grid is embarrassingly parallel and highly redundant, and the engine
+exploits both:
+
+* **Width sharding.**  The unit of work is a *task* — one (workload,
+  level) cell covering every requested issue width.  The classical and
+  ILP transformation stages observe only the machine's latencies
+  (:func:`repro.harness.ilp_transform`), so a task transforms once and
+  schedules a clone per width instead of recompiling from scratch
+  4 times.  Classical optimization is additionally level-independent, so
+  each worker process runs it once per workload (all 5 levels share it).
+* **Process parallelism.**  ``jobs > 1`` fans tasks out over a
+  ``fork``-based process pool.  Results are merged deterministically
+  (sorted by grid key), so serial and parallel sweeps are bit-identical.
+* **Resumability.**  Each finished configuration is appended to a JSONL
+  *journal*; an interrupted sweep rerun with the same journal reloads
+  the finished configurations and computes only the missing ones.
+
 Results are cached as JSON so the figure benchmarks can re-render without
 recomputation (delete ``results/sweep.json`` or pass ``force=True`` to
 refresh).
@@ -14,18 +31,29 @@ refresh).
 from __future__ import annotations
 
 import json
+import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-from ..harness import compile_kernel, run_compiled_kernel
+from ..harness import (
+    ConvKernel,
+    ilp_transform,
+    lower_conv,
+    run_compiled_kernel,
+    schedule_kernel,
+)
 from ..machine import MachineConfig
 from ..pipeline import Level
 from ..regalloc import measure_register_usage
-from ..workloads import Workload, all_workloads, check_run
+from ..workloads import Workload, all_workloads, check_run, get_workload
 
 WIDTHS = (1, 2, 4, 8)
-CACHE_VERSION = 3
+#: 4 added per-phase timing fields and partial-grid journals; version-3
+#: files (no timings, always full-grid) still load.
+CACHE_VERSION = 4
+_COMPAT_VERSIONS = (3, CACHE_VERSION)
 
 
 @dataclass
@@ -39,6 +67,12 @@ class ConfigResult:
     int_regs: int
     fp_regs: int
     checked: bool
+    #: wall-clock phase costs.  Compilation work shared across the widths
+    #: of a task (classical + ILP transformation) is attributed to the
+    #: width that actually paid it (the task's first width), not smeared.
+    t_compile: float = 0.0
+    t_schedule: float = 0.0
+    t_simulate: float = 0.0
 
     @property
     def total_regs(self) -> int:
@@ -51,6 +85,9 @@ class SweepData:
 
     results: dict[tuple[str, int, int], ConfigResult] = field(default_factory=dict)
     elapsed: float = 0.0
+    #: configurations computed this run vs. reloaded from a journal
+    computed: int = 0
+    reused: int = 0
 
     def get(self, name: str, level: Level, width: int) -> ConfigResult:
         return self.results[(name, int(level), width)]
@@ -66,23 +103,156 @@ class SweepData:
         return sorted({k[0] for k in self.results}, key=str.lower)
 
 
+# ---------------------------------------------------------------------------
+# per-process worker state
+# ---------------------------------------------------------------------------
+
+#: classical optimization is level- and machine-independent, so one
+#: ``ConvKernel`` per workload serves every task a worker process sees.
+#: The time it cost rides along and is charged to the first task that
+#: needs it (``_conv_cached`` pops the cost).
+_CONV_CACHE: dict[str, tuple[ConvKernel, float]] = {}
+#: inputs are read-only (``check_run`` copies before mutating;
+#: ``Memory.bind_array`` copies into simulated memory), so one binding
+#: per (workload, seed) serves every configuration.
+_INPUT_CACHE: dict[tuple[str, int], tuple[dict, dict]] = {}
+
+
+def _conv_cached(w: Workload) -> tuple[ConvKernel, float]:
+    """Stage-1 result for a workload, plus the cost if paid just now."""
+    hit = _CONV_CACHE.get(w.name)
+    if hit is not None:
+        conv, _ = hit
+        return conv, 0.0
+    t0 = time.perf_counter()
+    conv = lower_conv(w.build())
+    dt = time.perf_counter() - t0
+    _CONV_CACHE[w.name] = (conv, dt)
+    return conv, dt
+
+
+def _inputs_cached(w: Workload, seed: int) -> tuple[dict, dict]:
+    key = (w.name, seed)
+    hit = _INPUT_CACHE.get(key)
+    if hit is None:
+        hit = w.make_inputs(seed)
+        _INPUT_CACHE[key] = hit
+    return hit
+
+
+def _measure(w: Workload, ck, arrays: dict, scalars: dict, check: bool,
+             t_compile: float, t_sched: float) -> ConfigResult:
+    usage = measure_register_usage(ck.func, ck.lowered.live_out_exit)
+    t0 = time.perf_counter()
+    run = run_compiled_kernel(ck, arrays=arrays, scalars=scalars)
+    if check:
+        check_run(w, run.arrays, run.scalars, arrays, scalars)
+    t_sim = time.perf_counter() - t0
+    return ConfigResult(
+        w.name, int(ck.level), ck.machine.issue_width, run.cycles,
+        run.instructions, ck.inner_makespan, usage.int_regs, usage.fp_regs,
+        check, t_compile=t_compile, t_schedule=t_sched, t_simulate=t_sim,
+    )
+
+
+def _run_task(task: tuple) -> list[ConfigResult]:
+    """Run one (workload, level) cell over the requested widths.
+
+    The ILP transformation runs once on a clone of the cached stage-1
+    result; each width schedules and simulates its own clone of the
+    transformed code.
+    """
+    name, level_int, widths, seed, check = task
+    w = get_workload(name)
+    level = Level(level_int)
+
+    conv, t_conv = _conv_cached(w)
+    t0 = time.perf_counter()
+    tk = ilp_transform(conv.clone(), level, MachineConfig(issue_width=widths[0]))
+    t_transform = t_conv + (time.perf_counter() - t0)
+
+    arrays, scalars = _inputs_cached(w, seed)
+    out: list[ConfigResult] = []
+    for i, width in enumerate(widths):
+        machine = MachineConfig(issue_width=width)
+        t0 = time.perf_counter()
+        # the last width may consume tk itself: nothing reads it afterwards
+        clone = tk.clone() if i + 1 < len(widths) else tk
+        ck = schedule_kernel(clone, machine)
+        t_sched = time.perf_counter() - t0
+        out.append(_measure(w, ck, arrays, scalars, check,
+                            t_transform, t_sched))
+        t_transform = 0.0  # shared cost charged to the first width only
+    return out
+
+
 def run_config(
     w: Workload, level: Level, machine: MachineConfig, seed: int = 0,
     check: bool = True,
 ) -> ConfigResult:
-    arrays, scalars = w.make_inputs(seed)
-    ck = compile_kernel(w.build(), level, machine)
-    out = run_compiled_kernel(
-        ck,
-        arrays={k: v.copy() for k, v in arrays.items()},
-        scalars=scalars,
-    )
-    if check:
-        check_run(w, out.arrays, out.scalars, arrays, scalars)
-    usage = measure_register_usage(ck.func, ck.lowered.live_out_exit)
-    return ConfigResult(
-        w.name, int(level), machine.issue_width, out.cycles, out.instructions,
-        ck.inner_makespan, usage.int_regs, usage.fp_regs, check,
+    """Compile, simulate, and check a single configuration.
+
+    Unlike the sweep tasks this honors the full ``machine`` (custom
+    latencies / slot limits — the ablation benchmarks use those); the
+    classical stage is still reused across calls per workload.
+    """
+    conv, t_conv = _conv_cached(w)
+    t0 = time.perf_counter()
+    tk = ilp_transform(conv.clone(), level, machine)
+    t_compile = t_conv + (time.perf_counter() - t0)
+    t0 = time.perf_counter()
+    ck = schedule_kernel(tk, machine)
+    t_sched = time.perf_counter() - t0
+    arrays, scalars = _inputs_cached(w, seed)
+    return _measure(w, ck, arrays, scalars, check, t_compile, t_sched)
+
+
+# ---------------------------------------------------------------------------
+# the sweep driver
+# ---------------------------------------------------------------------------
+
+
+def _journal_header(seed: int, check: bool) -> dict:
+    return {"version": CACHE_VERSION, "seed": seed, "check": check}
+
+
+def read_journal(path: Path, seed: int, check: bool) -> dict[tuple, ConfigResult]:
+    """Finished configurations from an (possibly interrupted) journal.
+
+    Tolerates a truncated final line (the process died mid-write) and
+    rejects the whole journal if the header does not match the requested
+    sweep parameters.
+    """
+    results: dict[tuple, ConfigResult] = {}
+    try:
+        lines = path.read_text().splitlines()
+    except OSError:
+        return results
+    if not lines:
+        return results
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        return results
+    if header != _journal_header(seed, check):
+        return results
+    for line in lines[1:]:
+        try:
+            d = json.loads(line)
+            r = ConfigResult(**d)
+        except (json.JSONDecodeError, TypeError):
+            continue  # truncated / malformed tail
+        results[(r.workload, r.level, r.width)] = r
+    return results
+
+
+def _fork_pool(jobs: int) -> ProcessPoolExecutor:
+    # fork (not spawn) so workers inherit the parent's PYTHONHASHSEED:
+    # several passes iterate sets of enum members, whose hashes vary with
+    # the seed, and bit-identical serial/parallel results require every
+    # process to break those ties the same way.
+    return ProcessPoolExecutor(
+        max_workers=jobs, mp_context=multiprocessing.get_context("fork")
     )
 
 
@@ -93,18 +263,80 @@ def run_sweep(
     seed: int = 0,
     check: bool = True,
     verbose: bool = False,
+    jobs: int = 1,
+    journal: Path | None = None,
+    resume: bool = True,
 ) -> SweepData:
+    """Run the evaluation grid.
+
+    ``jobs > 1`` distributes (workload, level) tasks over a process pool.
+    With a ``journal`` path, every finished configuration is appended as a
+    JSON line; rerunning with ``resume=True`` (the default) reloads the
+    finished part and computes only the remainder.  Serial, parallel,
+    resumed, and fresh sweeps all produce identical results.
+    """
+    workloads = workloads or all_workloads()
     data = SweepData()
     t0 = time.time()
-    for w in workloads or all_workloads():
+
+    if journal is not None and resume and journal.exists():
+        wanted = {
+            (w.name, int(lv), wd)
+            for w in workloads for lv in levels for wd in widths
+        }
+        for key, r in read_journal(journal, seed, check).items():
+            if key in wanted:
+                data.results[key] = r
+    data.reused = len(data.results)
+
+    # one task per (workload, level): the widths of a cell share their
+    # transformed code, so they stay together
+    tasks = []
+    for w in workloads:
         for level in levels:
-            for width in widths:
-                r = run_config(w, level, MachineConfig(issue_width=width), seed, check)
-                data.results[(w.name, int(level), width)] = r
-            if verbose:
-                print(f"  {w.name} {level.label} done")
-        if verbose:
-            print(f"{w.name} done ({time.time() - t0:.1f}s)")
+            missing = tuple(
+                wd for wd in widths if (w.name, int(level), wd) not in data.results
+            )
+            if missing:
+                tasks.append((w.name, int(level), missing, seed, check))
+
+    jf = None
+    if journal is not None and tasks:
+        journal.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not (resume and data.results)
+        jf = journal.open("w" if fresh else "a")
+        if fresh:
+            jf.write(json.dumps(_journal_header(seed, check)) + "\n")
+            jf.flush()
+
+    def record(rs: list[ConfigResult]) -> None:
+        for r in rs:
+            data.results[(r.workload, r.level, r.width)] = r
+            if jf is not None:
+                jf.write(json.dumps(asdict(r)) + "\n")
+        if jf is not None:
+            jf.flush()
+        data.computed += len(rs)
+        if verbose and rs:
+            r = rs[0]
+            print(f"  {r.workload} {Level(r.level).label} done "
+                  f"({time.time() - t0:.1f}s)")
+
+    try:
+        if jobs > 1 and len(tasks) > 1:
+            with _fork_pool(jobs) as pool:
+                for rs in pool.map(_run_task, tasks):
+                    record(rs)
+        else:
+            for task in tasks:
+                record(_run_task(task))
+    finally:
+        if jf is not None:
+            jf.close()
+
+    # deterministic merge: identical key order no matter which process
+    # finished first or how much came from the journal
+    data.results = dict(sorted(data.results.items()))
     data.elapsed = time.time() - t0
     return data
 
@@ -116,6 +348,10 @@ def run_sweep(
 
 def default_cache_path() -> Path:
     return Path(__file__).resolve().parents[3] / "results" / "sweep.json"
+
+
+def default_journal_path() -> Path:
+    return default_cache_path().with_suffix(".journal.jsonl")
 
 
 def save_sweep(data: SweepData, path: Path | None = None) -> Path:
@@ -130,7 +366,13 @@ def save_sweep(data: SweepData, path: Path | None = None) -> Path:
     return path
 
 
-def load_sweep(path: Path | None = None) -> SweepData | None:
+def load_sweep(path: Path | None = None, require_complete: bool = True) -> SweepData | None:
+    """Load a cached sweep.
+
+    By default only a full 40x5x4 grid is usable (the figure renderers
+    need every cell); ``require_complete=False`` returns whatever subset
+    the file holds, so partial sweeps remain inspectable.
+    """
     path = path or default_cache_path()
     if not path.exists():
         return None
@@ -138,25 +380,33 @@ def load_sweep(path: Path | None = None) -> SweepData | None:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
         return None
-    if payload.get("version") != CACHE_VERSION:
+    if payload.get("version") not in _COMPAT_VERSIONS:
         return None
     data = SweepData(elapsed=payload.get("elapsed", 0.0))
     for d in payload["results"]:
         r = ConfigResult(**d)
         data.results[(r.workload, r.level, r.width)] = r
-    # a usable cache covers the full grid
-    expected = len(all_workloads()) * len(Level) * len(WIDTHS)
-    if len(data.results) != expected:
-        return None
+    if require_complete:
+        expected = len(all_workloads()) * len(Level) * len(WIDTHS)
+        if len(data.results) != expected:
+            return None
     return data
 
 
-def sweep_cached(force: bool = False, verbose: bool = False) -> SweepData:
-    """Load the cached grid or compute and cache it."""
+def sweep_cached(force: bool = False, verbose: bool = False, jobs: int = 1) -> SweepData:
+    """Load the cached grid or compute and cache it.
+
+    Computation journals to ``results/sweep.journal.jsonl``, so an
+    interrupted sweep resumes where it stopped; the journal is removed
+    once the full grid is saved.
+    """
     if not force:
         cached = load_sweep()
         if cached is not None:
             return cached
-    data = run_sweep(verbose=verbose)
+    journal = default_journal_path()
+    data = run_sweep(verbose=verbose, jobs=jobs, journal=journal,
+                     resume=not force)
     save_sweep(data)
+    journal.unlink(missing_ok=True)
     return data

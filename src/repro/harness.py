@@ -6,16 +6,34 @@ This is the public "just run it" API::
     out = run_compiled_kernel(ck, arrays={"A": a, "B": b, "C": c},
                               scalars={"n": 100})
     out.cycles, out.arrays["C"], out.scalars.get("s")
+
+``compile_kernel`` is a composition of three stages with strictly widening
+dependence on the configuration, so sweeps can share the early stages:
+
+1. :func:`lower_conv` — lowering + classical optimization.  Depends only on
+   the kernel (level- and machine-independent).
+2. :func:`ilp_transform` — the paper's ILP transformations.  Depends on the
+   level and on the machine's *latencies* only
+   (:meth:`repro.machine.MachineConfig.latency_key`): machines differing
+   only in issue width share transformed code.
+3. :func:`schedule_kernel` — list scheduling.  Depends on the full machine
+   (the issue width shapes every packet).
+
+Stages 2 and 3 mutate the function in place; reuse an earlier stage's
+result across several downstream calls by scheduling a ``.clone()`` of it.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .frontend.ast import Kernel, Ty
 from .frontend.lower import LoweredKernel, lower_kernel
+from .ir.block import Block
+from .ir.function import Function
 from .machine import MachineConfig
 from .opt.driver import ConvReport, run_conv
 from .pipeline import Level, TransformReport, apply_ilp_transforms, schedule_function
@@ -43,16 +61,97 @@ class CompiledKernel:
         return self.schedules[self.sb.header].makespan
 
 
-def compile_kernel(
-    kernel: Kernel,
+def _clone_stage(obj):
+    """Deep-copy a stage result, sharing the immutable kernel AST.
+
+    The cloned ``Function``/``SuperblockLoop``/``scalar_regs`` stay mutually
+    consistent (one deepcopy memo), so the clone can be mutated by later
+    stages without disturbing the original.
+    """
+    memo = {id(obj.lowered.kernel): obj.lowered.kernel}
+    return copy.deepcopy(obj, memo)
+
+
+@dataclass
+class ConvKernel:
+    """Stage-1 result: lowered + classically optimized (level-independent)."""
+
+    lowered: LoweredKernel
+    conv_report: ConvReport
+
+    def clone(self) -> "ConvKernel":
+        return _clone_stage(self)
+
+
+@dataclass
+class TransformedKernel:
+    """Stage-2 result: ILP-transformed but not yet scheduled.
+
+    Width-independent: only the machine's latencies were observed
+    (tree height reduction), so one ``TransformedKernel`` serves every
+    issue width via ``schedule_kernel(tk.clone(), machine)``.
+    """
+
+    lowered: LoweredKernel
+    level: Level
+    sb: SuperblockLoop
+    conv_report: ConvReport
+    ilp_report: TransformReport
+
+    def clone(self) -> "TransformedKernel":
+        """Clone for scheduling: fresh function/blocks/instruction lists,
+        *shared* instruction and operand objects.
+
+        The scheduling stage only reorders instruction lists — instruction
+        objects are mutated exclusively by the ILP stage (superblock
+        formation rewrites targets) — so structural sharing is safe here
+        and far cheaper than a deep copy.  Do not feed a clone back into
+        :func:`ilp_transform`.
+        """
+        lk = self.lowered
+        f = lk.func
+        nf = Function(f.name, pinned_regs=set(f.pinned_regs),
+                      _next_reg=dict(f._next_reg), _next_label=f._next_label)
+        bmap: dict[int, Block] = {}
+        for b in f.blocks:
+            nb = Block(b.label, list(b.instrs))
+            nf.blocks.append(nb)
+            bmap[id(b)] = nb
+        nlk = LoweredKernel(lk.kernel, nf, lk.scalar_regs, lk.counted,
+                            lk.inner_header, lk.inner_kind)
+        sb = self.sb
+        nsb = SuperblockLoop(
+            nf, bmap.get(id(sb.body), sb.body),
+            bmap.get(id(sb.preheader), sb.preheader), sb.counted,
+            set(sb.offtrace),
+            None if sb.exit_block is None
+            else bmap.get(id(sb.exit_block), sb.exit_block),
+        )
+        return TransformedKernel(nlk, self.level, nsb,
+                                 self.conv_report, self.ilp_report)
+
+
+def lower_conv(kernel: Kernel) -> ConvKernel:
+    """Stage 1: lower a kernel and run the classical (conventional)
+    optimizations.  Depends only on the kernel itself."""
+    lk = lower_kernel(kernel)
+    conv_rep = run_conv(lk.func, lk.counted, lk.live_out_exit)
+    return ConvKernel(lk, conv_rep)
+
+
+def ilp_transform(
+    conv: ConvKernel,
     level: Level,
     machine: MachineConfig,
     unroll_factor: int | None = None,
     thr_unit_latency: bool = False,
-) -> CompiledKernel:
-    """Lower, classically optimize, ILP-transform, and schedule a kernel."""
-    lk = lower_kernel(kernel)
-    conv_rep = run_conv(lk.func, lk.counted, lk.live_out_exit)
+) -> TransformedKernel:
+    """Stage 2: apply the paper's ILP transformations at ``level``.
+
+    Mutates ``conv``'s function in place (pass ``conv.clone()`` to keep the
+    stage-1 result reusable).  Observes only ``machine.latency_key()``.
+    """
+    lk = conv.lowered
     counted = lk.counted[lk.inner_header]
     sb, ilp_rep = apply_ilp_transforms(
         lk.func,
@@ -63,11 +162,38 @@ def compile_kernel(
         unroll_factor,
         thr_unit_latency=thr_unit_latency,
     )
+    return TransformedKernel(lk, level, sb, conv.conv_report, ilp_rep)
+
+
+def schedule_kernel(tk: TransformedKernel, machine: MachineConfig) -> CompiledKernel:
+    """Stage 3: list-schedule a transformed kernel for a concrete machine.
+
+    Mutates ``tk``'s function in place (pass ``tk.clone()`` to schedule the
+    same transformed code for several widths).
+    """
+    lk = tk.lowered
     doall = lk.inner_kind == "doall"
     schedules = schedule_function(
-        lk.func, machine, lk.live_out_exit, sb=sb, doall=doall
+        lk.func, machine, lk.live_out_exit, sb=tk.sb, doall=doall
     )
-    return CompiledKernel(lk, level, machine, sb, schedules, conv_rep, ilp_rep)
+    return CompiledKernel(
+        lk, tk.level, machine, tk.sb, schedules, tk.conv_report, tk.ilp_report
+    )
+
+
+def compile_kernel(
+    kernel: Kernel,
+    level: Level,
+    machine: MachineConfig,
+    unroll_factor: int | None = None,
+    thr_unit_latency: bool = False,
+) -> CompiledKernel:
+    """Lower, classically optimize, ILP-transform, and schedule a kernel."""
+    tk = ilp_transform(
+        lower_conv(kernel), level, machine, unroll_factor,
+        thr_unit_latency=thr_unit_latency,
+    )
+    return schedule_kernel(tk, machine)
 
 
 @dataclass

@@ -39,6 +39,20 @@ class Reg:
     id: int
     cls: RegClass
 
+    def __hash__(self) -> int:
+        # Registers live in the hottest sets of the compiler (liveness,
+        # interference, dependence analysis).  The auto-generated hash
+        # goes through a tuple and the enum member's name-string hash;
+        # this small-int hash is much cheaper and, as a bonus,
+        # independent of PYTHONHASHSEED, so set iteration order is
+        # identical in every process.
+        return (self.id << 1) | (self.cls is RegClass.FP)
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is Reg:
+            return self.id == other.id and self.cls is other.cls
+        return NotImplemented
+
     def __str__(self) -> str:
         return f"r{self.id}{self.cls.value}"
 

@@ -89,6 +89,25 @@ class MachineConfig:
     def with_width(self, width: int) -> "MachineConfig":
         return replace(self, issue_width=width)
 
+    def cache_key(self) -> tuple:
+        """Hashable identity of this configuration (the dataclass itself is
+        unhashable because of the latency/slot dicts).  Two configurations
+        with equal keys produce identical compiled programs and schedules."""
+        return (
+            self.issue_width,
+            self.branch_slots,
+            tuple(sorted((k.value, v) for k, v in self.latencies.items())),
+            tuple(sorted((k.value, v) for k, v in self.slot_limits.items())),
+            self.speculative_loads,
+            self.speculative_fp,
+        )
+
+    def latency_key(self) -> tuple:
+        """Like :meth:`cache_key` but ignoring the issue width: the part of
+        the configuration the *transformation* stages can observe.  Machines
+        differing only in issue width share transformed (unscheduled) code."""
+        return self.cache_key()[2:]
+
 
 def to_description(config: MachineConfig) -> dict:
     """Serialize a configuration as a machine-description dictionary.

@@ -8,6 +8,7 @@ class is the paper's "registers utilized" statistic.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 from ..ir.function import Function
@@ -19,26 +20,40 @@ def color_class(g: InterferenceGraph, cls: RegClass) -> dict[Reg, int]:
     nodes = sorted(g.of_class(cls), key=lambda r: r.id)
     if not nodes:
         return {}
-    # simplification stack: repeatedly remove min-degree node
-    degree = {r: sum(1 for n in g.adj[r] if n.cls is cls) for r in nodes}
+    # Simplification stack: repeatedly remove the (degree, id)-minimal
+    # node.  A lazy heap replaces the original min-over-set scan (which
+    # was quadratic): each degree decrement pushes a fresh entry, and
+    # stale entries (already removed, or recorded at an outdated degree)
+    # are discarded on pop.  Degrees only decrease and every decrease is
+    # pushed, so the pop sequence is *identical* to the min() scan.
+    # adjacency sets only ever hold same-class registers (``add_edge``
+    # rejects cross-class pairs), so no class filtering is needed inside
+    degree = {r: len(g.adj[r]) for r in nodes}
     removed: set[Reg] = set()
     stack: list[Reg] = []
-    work = set(nodes)
-    while work:
-        r = min(work, key=lambda x: (degree[x], x.id))
-        work.discard(r)
+    heap = [(degree[r], r.id, r) for r in nodes]
+    heapq.heapify(heap)
+    while heap:
+        d, _, r = heapq.heappop(heap)
+        if r in removed or d != degree[r]:
+            continue
         removed.add(r)
         stack.append(r)
         for n in g.adj[r]:
-            if n.cls is cls and n not in removed:
+            if n not in removed:
                 degree[n] -= 1
+                heapq.heappush(heap, (degree[n], n.id, n))
     colors: dict[Reg, int] = {}
+    get_color = colors.get
     for r in reversed(stack):
-        used = {colors[n] for n in g.adj[r] if n in colors}
-        c = 0
-        while c in used:
-            c += 1
-        colors[r] = c
+        # first-fit: the lowest color absent among colored neighbors,
+        # found as the lowest clear bit of the used-color mask
+        mask = 0
+        for n in g.adj[r]:
+            c = get_color(n)
+            if c is not None:
+                mask |= 1 << c
+        colors[r] = (~mask & (mask + 1)).bit_length() - 1
     return colors
 
 

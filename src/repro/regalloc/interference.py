@@ -60,14 +60,22 @@ def build_interference(
         for r in ins.reg_defs():
             g.add_node(r)
 
+    adj = g.adj
     for blk in func.blocks:
         live = set(lv.live_out[blk.label])
         for ins in reversed(blk.instrs):
             d = ins.dest
             if d is not None:
+                # inlined add_edge (this loop dominates construction time);
+                # every register was registered as a node above
+                dcls = d.cls
+                dadj = adj[d]
+                nodes_add = g.nodes.add
                 for other in live:
-                    if other != d:
-                        g.add_edge(d, other)
+                    if other != d and other.cls is dcls:
+                        dadj.add(other)
+                        adj[other].add(d)
+                        nodes_add(other)  # live-through regs may be new
                 live.discard(d)
             for r in ins.reg_uses():
                 live.add(r)

@@ -1,13 +1,13 @@
 """repro.sim — execution-driven cycle-accurate simulation."""
 
 from .memory import Memory, SimMemoryError, WORD
-from .executor import CompiledInstr, CompiledProgram, compile_instr
+from .executor import CompiledInstr, CompiledProgram, compile_instr, compiled_program
 from .simulator import RunResult, SimulationError, run_compiled, simulate
 from .trace import render_packets, render_pipeline
 
 __all__ = [
     "Memory", "SimMemoryError", "WORD",
-    "CompiledInstr", "CompiledProgram", "compile_instr",
+    "CompiledInstr", "CompiledProgram", "compile_instr", "compiled_program",
     "RunResult", "SimulationError", "run_compiled", "simulate",
     "render_packets", "render_pipeline",
 ]

@@ -17,6 +17,7 @@ Floating point is IEEE double.
 from __future__ import annotations
 
 import math
+import weakref
 from dataclasses import dataclass
 
 from ..ir.block import Block
@@ -84,6 +85,10 @@ C_BRANCH = 3
 C_JUMP = 4
 C_NOP = 5
 C_HALT = 6
+# arity-specialized ALU categories used only by the pre-flattened form
+# (CompiledInstr.cat keeps the generic C_ALU)
+C_ALU2 = 7
+C_ALU1 = 8
 
 
 @dataclass(eq=False)
@@ -161,7 +166,28 @@ class CompiledBlock:
 
 
 class CompiledProgram:
-    """A function lowered for simulation against a given machine + symtab."""
+    """A function lowered for simulation against a given machine + symtab.
+
+    Besides the structured :class:`CompiledBlock` view, every instruction is
+    pre-flattened into a plain tuple so the interpreter's inner loop pays a
+    single ``UNPACK_SEQUENCE`` instead of repeated attribute chasing::
+
+        (cat, fn, srcs, rsrcs, dest_bank, dest_id, lat, (kind, target, instr))
+
+    ``cat`` is arity-specialized (``C_ALU2``/``C_ALU1`` instead of the
+    generic ``C_ALU``) so the hot ALU path calls ``fn(a, b)`` directly with
+    no argument list built.  ``srcs`` is the fetch descriptor *flattened* to
+    ``(bank0, key0, bank1, key1, ...)`` — one unpack fetches every operand.
+    ``rsrcs`` keeps only the register sources, likewise flattened, for the
+    readiness/interlock check (constants are skipped entirely; at most 3
+    register sources exist, so the check is unrolled).  ``dest_bank`` is -1
+    when there is no destination.  The cold fields ride in a nested tuple
+    the hot path never unpacks: the slot-limit kind, the branch target
+    resolved to a *block index* (-1 if none), and the original instruction
+    (tracing/errors).  ``n_iregs`` / ``n_fregs`` bound the register ids
+    referenced, so the simulator can use flat list register banks instead
+    of dicts (registers are densely reindexed by ``Function.reindex_regs``).
+    """
 
     def __init__(self, func: Function, machine: MachineConfig, symbols: dict[str, int]):
         self.func = func
@@ -176,3 +202,77 @@ class CompiledProgram:
             self.blocks.append(CompiledBlock(blk.label, code, nxt))
         # resolve branch targets to block indices up front
         self.target_index: dict[str, int] = dict(self.index)
+
+        self.labels: list[str] = [b.label for b in self.blocks]
+        self.next_index: list[int | None] = [b.next_index for b in self.blocks]
+        ni = nf = 0
+        self.flat: list[list[tuple]] = []
+        for b in self.blocks:
+            row = []
+            for ci in b.code:
+                reg_srcs = [s for s in ci.srcs if s[0] != CONST]
+                assert len(reg_srcs) <= 3, ci.instr
+                rsrcs = tuple(x for s in reg_srcs for x in s)
+                for bank, key in reg_srcs:
+                    if bank == INT_BANK:
+                        ni = max(ni, key + 1)
+                    else:
+                        nf = max(nf, key + 1)
+                if ci.dest is None:
+                    db = di = -1
+                else:
+                    db, di = ci.dest
+                    if db == INT_BANK:
+                        ni = max(ni, di + 1)
+                    else:
+                        nf = max(nf, di + 1)
+                tgt = self.index[ci.target] if ci.target is not None else -1
+                cat = ci.cat
+                if cat == C_ALU:
+                    cat = C_ALU2 if len(ci.srcs) == 2 else C_ALU1
+                    assert len(ci.srcs) in (1, 2), ci.instr
+                srcs = tuple(x for s in ci.srcs for x in s)
+                row.append((cat, ci.fn, srcs, rsrcs, db, di,
+                            ci.lat, (ci.kind, tgt, ci.instr)))
+            self.flat.append(row)
+        self.n_iregs = ni
+        self.n_fregs = nf
+
+
+#: per-function memo of CompiledPrograms, keyed by machine + symbol table +
+#: an instruction-identity fingerprint (weak on the function, so programs
+#: die with their function)
+_PROGRAM_CACHE: "weakref.WeakKeyDictionary[Function, dict]" = weakref.WeakKeyDictionary()
+_PROGRAM_CACHE_LIMIT = 8
+
+
+def compiled_program(
+    func: Function, machine: MachineConfig, symbols: dict[str, int]
+) -> CompiledProgram:
+    """Memoized :class:`CompiledProgram` construction.
+
+    Repeated simulation of the same function on the same machine (figure
+    refreshes, ablations, repeated ``run_compiled_kernel`` calls) reuses the
+    lowered program instead of recompiling every instruction.  The cache key
+    fingerprints the instruction objects in layout order, so in-place
+    reordering, insertion, or deletion after a prior simulation is detected
+    and recompiled (the cached program keeps the fingerprinted instructions
+    alive, so ids cannot be recycled while an entry lives).
+    """
+    key = (
+        machine.cache_key(),
+        tuple(sorted(symbols.items())),
+        tuple(b.label for b in func.blocks),
+        tuple(map(id, func.iter_instrs())),
+    )
+    per_func = _PROGRAM_CACHE.get(func)
+    if per_func is None:
+        per_func = {}
+        _PROGRAM_CACHE[func] = per_func
+    prog = per_func.get(key)
+    if prog is None:
+        if len(per_func) >= _PROGRAM_CACHE_LIMIT:
+            per_func.clear()
+        prog = CompiledProgram(func, machine, symbols)
+        per_func[key] = prog
+    return prog

@@ -59,12 +59,9 @@ class Memory:
         base = self._next_base
         self._next_base += (n + 8) * WORD  # pad between arrays
         w = base // WORD
-        if np.issubdtype(flat.dtype, np.integer):
-            for i in range(n):
-                self._words[w + i] = int(flat[i])
-        else:
-            for i in range(n):
-                self._words[w + i] = float(flat[i])
+        # tolist() converts to native int/float in one pass (the simulator
+        # computes in exact Python semantics, never numpy scalars)
+        self._words.update(zip(range(w, w + n), flat.tolist()))
         self._arrays[name] = (base, n)
         self.symbols[name] = base
         return base
@@ -76,7 +73,8 @@ class Memory:
         if want > n:
             raise SimMemoryError(f"array {name} has {n} words, asked for {want}")
         w = base // WORD
-        flat = np.array([self._words[w + i] for i in range(want)], dtype=dtype)
+        words = self._words
+        flat = np.array([words[w + i] for i in range(want)], dtype=dtype)
         return flat.reshape(shape, order="F")
 
     def array_base(self, name: str) -> int:

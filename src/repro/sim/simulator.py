@@ -8,6 +8,14 @@ issue packet), 100% cache hits.
 The simulator is *execution driven*: it computes real values, follows real
 branch outcomes, and mutates simulated memory, so transformation
 correctness is checked at the same time performance is measured.
+
+The interpreter executes millions of dynamic instructions per sweep, so the
+hot loop works on the pre-flattened form built by
+:class:`repro.sim.executor.CompiledProgram`: plain instruction tuples
+(no attribute chasing) and flat list-indexed register banks (registers are
+densely reindexed by ``Function.reindex_regs``; a list index replaces two
+dict probes per operand).  Reads of never-written registers surface as
+:class:`SimulationError` rather than silently producing zeros.
 """
 
 from __future__ import annotations
@@ -18,6 +26,8 @@ from ..ir.function import Function
 from ..machine import MachineConfig
 from .executor import (
     C_ALU,
+    C_ALU1,
+    C_ALU2,
     C_BRANCH,
     C_HALT,
     C_JUMP,
@@ -28,6 +38,7 @@ from .executor import (
     CompiledProgram,
     FP_BANK,
     INT_BANK,
+    compiled_program,
 )
 from .memory import Memory, SimMemoryError
 
@@ -67,13 +78,19 @@ def simulate(
     ``iregs`` / ``fregs`` provide live-in register values; ``memory``
     supplies bound arrays and the symbol table.  Execution starts at the
     entry block and ends when control falls off the end of the last block.
+    Program lowering is memoized per (function, machine, symbol table).
     """
     memory = memory if memory is not None else Memory()
-    prog = CompiledProgram(func, machine, memory.symbols)
+    prog = compiled_program(func, machine, memory.symbols)
     return run_compiled(
         prog, memory, iregs or {}, fregs or {}, max_cycles,
         collect_block_visits, trace,
     )
+
+
+def _bank_dict(vals: list) -> dict:
+    """Registers that hold a value (live-in or written) as an id->value map."""
+    return {i: v for i, v in enumerate(vals) if v is not None}
 
 
 def run_compiled(
@@ -90,15 +107,25 @@ def run_compiled(
     slot_limits = machine.slot_limits
 
     mem = memory._words  # hot-path access
-    ivals: dict[int, int] = dict(iregs)
-    fvals: dict[int, float] = dict(fregs)
-    iready: dict[int, int] = {}
-    fready: dict[int, int] = {}
+    ni, nf = prog.n_iregs, prog.n_fregs
+    if iregs:
+        ni = max(ni, max(iregs) + 1)
+    if fregs:
+        nf = max(nf, max(fregs) + 1)
+    ivals: list = [None] * ni
+    fvals: list = [None] * nf
+    for r, v in iregs.items():
+        ivals[r] = v
+    for r, v in fregs.items():
+        fvals[r] = v
+    iready = [0] * ni
+    fready = [0] * nf
     banks_vals = (ivals, fvals)
     banks_ready = (iready, fready)
 
-    blocks = prog.blocks
-    tindex = prog.target_index
+    codes = prog.flat
+    nexts = prog.next_index
+    labels = prog.labels
     visits: dict[str, int] = {}
 
     cycle = 0
@@ -106,62 +133,74 @@ def run_compiled(
     last_issue = -1
     bi = 0
     ii = 0
-    nblocks = len(blocks)
 
     # Skip leading empty blocks.
-    while bi < nblocks and not blocks[bi].code:
+    while bi < len(codes) and not codes[bi]:
         if collect_block_visits:
-            visits[blocks[bi].label] = visits.get(blocks[bi].label, 0) + 1
-        nxt = blocks[bi].next_index
+            visits[labels[bi]] = visits.get(labels[bi], 0) + 1
+        nxt = nexts[bi]
         if nxt is None:
-            return RunResult(0, 0, ivals, fvals, memory, visits)
+            return RunResult(0, 0, _bank_dict(ivals), _bank_dict(fvals),
+                             memory, visits)
         bi = nxt
 
     if collect_block_visits:
-        visits[blocks[bi].label] = 1
+        visits[labels[bi]] = 1
 
+    code = codes[bi]
+    ncode = len(code)
+    # hot-loop locals (module-global loads are slower inside the loop)
+    ALU2, ALU1, LOAD, STORE, BRANCH = C_ALU2, C_ALU1, C_LOAD, C_STORE, C_BRANCH
+    JUMP, HALT = C_JUMP, C_HALT
+    KONST = CONST
     running = True
     while running:
         if cycle > max_cycles:
             raise SimulationError(
                 f"exceeded {max_cycles} cycles in {prog.func.name} "
-                f"(at block {blocks[bi].label})"
+                f"(at block {labels[bi]})"
             )
         issued = 0
-        slot_used: dict = {}
+        slot_used: dict | None = None
         # issue packet for this cycle
         while True:
-            code = blocks[bi].code
-            if ii >= len(code):
+            if ii >= ncode:
                 # fall through to next block (costs no cycles by itself)
-                nxt = blocks[bi].next_index
+                nxt = nexts[bi]
                 if nxt is None:
                     running = False
                     break
                 bi = nxt
+                code = codes[bi]
+                ncode = len(code)
                 ii = 0
                 if collect_block_visits:
-                    lab = blocks[bi].label
+                    lab = labels[bi]
                     visits[lab] = visits.get(lab, 0) + 1
                 continue
             if issued >= width:
                 break
-            ci = code[ii]
-            cat = ci.cat
+            cat, fn, srcs, rsrcs, db, di, lat, meta = code[ii]
 
-            # operand readiness (flow interlock)
+            # operand readiness (flow interlock); at most 3 register
+            # sources, so the loop is unrolled over the flattened pairs
             need = cycle
-            for bank, key in ci.srcs:
-                if bank == CONST:
-                    continue
-                t = banks_ready[bank].get(key, 0)
+            lr = len(rsrcs)
+            if lr:
+                t = banks_ready[rsrcs[0]][rsrcs[1]]
                 if t > need:
                     need = t
+                if lr > 2:
+                    t = banks_ready[rsrcs[2]][rsrcs[3]]
+                    if t > need:
+                        need = t
+                    if lr > 4:
+                        t = banks_ready[rsrcs[4]][rsrcs[5]]
+                        if t > need:
+                            need = t
             # WAW interlock: later write must complete strictly later
-            d = ci.dest
-            if d is not None:
-                prev = banks_ready[d[0]].get(d[1], 0)
-                t = prev - ci.lat + 1
+            if db >= 0:
+                t = banks_ready[db][di] - lat + 1
                 if t > need:
                     need = t
             if need > cycle:
@@ -171,84 +210,123 @@ def run_compiled(
                 else:
                     break  # end this packet; retry next cycle
             if slot_limits:
-                k = ci.kind
-                lim = slot_limits.get(k)
+                kind = meta[0]
+                lim = slot_limits.get(kind)
                 if lim is not None:
-                    used = slot_used.get(k, 0)
+                    if slot_used is None:
+                        slot_used = {}
+                    used = slot_used.get(kind, 0)
                     if used >= lim:
                         break
-                    slot_used[k] = used + 1
+                    slot_used[kind] = used + 1
 
             # ---- issue: execute semantics -------------------------------
-            if cat == C_ALU:
-                vals = [
-                    key if bank == CONST else banks_vals[bank][key]
-                    for bank, key in ci.srcs
-                ]
+            if cat == ALU2:
+                b0, k0, b1, k1 = srcs
+                a = k0 if b0 == KONST else banks_vals[b0][k0]
+                b = k1 if b1 == KONST else banks_vals[b1][k1]
                 try:
-                    res = ci.fn(*vals)
+                    res = fn(a, b)
                 except ZeroDivisionError:
-                    raise SimulationError(f"division by zero: {ci.instr!r}") from None
-                banks_vals[d[0]][d[1]] = res
-                banks_ready[d[0]][d[1]] = cycle + ci.lat
-            elif cat == C_LOAD:
-                b0, k0 = ci.srcs[0]
-                b1, k1 = ci.srcs[1]
-                addr = (k0 if b0 == CONST else ivals[k0]) + (
-                    k1 if b1 == CONST else ivals[k1]
-                )
+                    raise SimulationError(f"division by zero: {meta[2]!r}") from None
+                except TypeError:
+                    if a is None or b is None:
+                        raise SimulationError(
+                            f"read of uninitialized register: {meta[2]!r}"
+                        ) from None
+                    raise
+                banks_vals[db][di] = res
+                banks_ready[db][di] = cycle + lat
+            elif cat == LOAD:
+                b0, k0, b1, k1 = srcs
+                addr = -1
                 try:
-                    banks_vals[d[0]][d[1]] = mem[addr >> 2]
+                    addr = (k0 if b0 == KONST else ivals[k0]) + (
+                        k1 if b1 == KONST else ivals[k1]
+                    )
+                    banks_vals[db][di] = mem[addr >> 2]
                 except KeyError:
                     raise SimMemoryError(
-                        f"load from uninitialized address {addr:#x}: {ci.instr!r}"
+                        f"load from uninitialized address {addr:#x}: {meta[2]!r}"
                     ) from None
-                banks_ready[d[0]][d[1]] = cycle + ci.lat
-            elif cat == C_STORE:
-                b0, k0 = ci.srcs[0]
-                b1, k1 = ci.srcs[1]
-                bv, kv = ci.srcs[2]
-                addr = (k0 if b0 == CONST else ivals[k0]) + (
-                    k1 if b1 == CONST else ivals[k1]
-                )
-                mem[addr >> 2] = kv if bv == CONST else banks_vals[bv][kv]
-            elif cat == C_BRANCH:
-                vals = [
-                    key if bank == CONST else banks_vals[bank][key]
-                    for bank, key in ci.srcs
-                ]
+                except TypeError:
+                    raise SimulationError(
+                        f"read of uninitialized register: {meta[2]!r}"
+                    ) from None
+                banks_ready[db][di] = cycle + lat
+            elif cat == STORE:
+                b0, k0, b1, k1, bv, kv = srcs
+                v = kv if bv == KONST else banks_vals[bv][kv]
+                try:
+                    addr = (k0 if b0 == KONST else ivals[k0]) + (
+                        k1 if b1 == KONST else ivals[k1]
+                    )
+                except TypeError:
+                    raise SimulationError(
+                        f"read of uninitialized register: {meta[2]!r}"
+                    ) from None
+                if v is None:
+                    raise SimulationError(
+                        f"store of uninitialized register: {meta[2]!r}"
+                    )
+                mem[addr >> 2] = v
+            elif cat == BRANCH:
+                b0, k0, b1, k1 = srcs
+                v0 = k0 if b0 == KONST else banks_vals[b0][k0]
+                v1 = k1 if b1 == KONST else banks_vals[b1][k1]
+                if v0 is None or v1 is None:
+                    raise SimulationError(
+                        f"read of uninitialized register: {meta[2]!r}"
+                    )
                 n_instr += 1
                 issued += 1
                 last_issue = cycle
                 if trace is not None:
-                    trace.append((cycle, ci.instr))
-                if ci.fn(*vals):
-                    bi = tindex[ci.target]
+                    trace.append((cycle, meta[2]))
+                if fn(v0, v1):
+                    bi = meta[1]
+                    code = codes[bi]
+                    ncode = len(code)
                     ii = 0
                     if collect_block_visits:
-                        lab = blocks[bi].label
+                        lab = labels[bi]
                         visits[lab] = visits.get(lab, 0) + 1
                 else:
                     ii += 1
                 break  # branch terminates the issue packet
-            elif cat == C_HALT:
+            elif cat == ALU1:
+                b0, k0 = srcs
+                a = k0 if b0 == KONST else banks_vals[b0][k0]
+                try:
+                    res = fn(a)
+                except TypeError:
+                    if a is None:
+                        raise SimulationError(
+                            f"read of uninitialized register: {meta[2]!r}"
+                        ) from None
+                    raise
+                banks_vals[db][di] = res
+                banks_ready[db][di] = cycle + lat
+            elif cat == HALT:
                 n_instr += 1
                 issued += 1
                 last_issue = cycle
                 if trace is not None:
-                    trace.append((cycle, ci.instr))
+                    trace.append((cycle, meta[2]))
                 running = False
                 break
-            elif cat == C_JUMP:
+            elif cat == JUMP:
                 n_instr += 1
                 issued += 1
                 last_issue = cycle
                 if trace is not None:
-                    trace.append((cycle, ci.instr))
-                bi = tindex[ci.target]
+                    trace.append((cycle, meta[2]))
+                bi = meta[1]
+                code = codes[bi]
+                ncode = len(code)
                 ii = 0
                 if collect_block_visits:
-                    lab = blocks[bi].label
+                    lab = labels[bi]
                     visits[lab] = visits.get(lab, 0) + 1
                 break
             # C_NOP: just consumes an issue slot
@@ -257,7 +335,7 @@ def run_compiled(
             issued += 1
             last_issue = cycle
             if trace is not None:
-                trace.append((cycle, ci.instr))
+                trace.append((cycle, meta[2]))
             ii += 1
 
         cycle += 1
@@ -265,4 +343,5 @@ def run_compiled(
     # The paper's timing convention (its worked examples) counts a loop body
     # as ending one cycle after the final issue, so total cycles is
     # last_issue + 1.  In-flight completion beyond that is not charged.
-    return RunResult(last_issue + 1, n_instr, ivals, fvals, memory, visits)
+    return RunResult(last_issue + 1, n_instr, _bank_dict(ivals),
+                     _bank_dict(fvals), memory, visits)

@@ -1,0 +1,169 @@
+"""Regression tests for the fast sweep engine.
+
+The engine layers three reuse/parallelism mechanisms on the grid run
+(width-sharded compilation, a fork-based process pool, and a resumable
+JSONL journal); these tests pin the one property that makes them safe:
+every path produces *identical* results.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.sweep import (
+    CACHE_VERSION,
+    ConfigResult,
+    load_sweep,
+    read_journal,
+    run_config,
+    run_sweep,
+    save_sweep,
+)
+from repro.harness import (
+    compile_kernel,
+    ilp_transform,
+    lower_conv,
+    schedule_kernel,
+)
+from repro.machine import MachineConfig
+from repro.pipeline import Level
+from repro.workloads import get_workload
+
+WORKLOADS = ("add", "sum", "maxval")
+LEVELS = (Level.CONV, Level.LEV4)
+WIDTHS = (1, 8)
+
+
+def _key_fields(r: ConfigResult) -> tuple:
+    """Everything that must be bit-identical across engine paths
+    (timing fields legitimately differ)."""
+    return (r.workload, r.level, r.width, r.cycles, r.instructions,
+            r.inner_makespan, r.int_regs, r.fp_regs, r.checked)
+
+
+@pytest.fixture(scope="module")
+def serial_sweep():
+    wls = [get_workload(n) for n in WORKLOADS]
+    return run_sweep(wls, LEVELS, WIDTHS)
+
+
+class TestStagedCompile:
+    def test_staged_equals_monolithic(self):
+        """transform-once + schedule-per-width == full recompilation."""
+        w = get_workload("dotprod")
+        kernel = w.build()
+        conv = lower_conv(kernel)
+        for level in LEVELS:
+            tk = ilp_transform(conv.clone(), level, MachineConfig(issue_width=8))
+            for width in (1, 2, 4, 8):
+                machine = MachineConfig(issue_width=width)
+                ref = compile_kernel(kernel, level, machine)
+                new = schedule_kernel(tk.clone(), machine)
+                assert new.inner_makespan == ref.inner_makespan
+                ref_instrs = [str(i) for b in ref.func.blocks for i in b.instrs]
+                new_instrs = [str(i) for b in new.func.blocks for i in b.instrs]
+                assert new_instrs == ref_instrs
+
+    def test_clone_isolates_mutation(self):
+        """Scheduling a clone must not disturb the transformed original."""
+        conv = lower_conv(get_workload("add").build())
+        tk = ilp_transform(conv, Level.LEV4, MachineConfig(issue_width=8))
+        before = [str(i) for b in tk.lowered.func.blocks for i in b.instrs]
+        schedule_kernel(tk.clone(), MachineConfig(issue_width=8))
+        after = [str(i) for b in tk.lowered.func.blocks for i in b.instrs]
+        assert after == before
+
+
+class TestParallelSweep:
+    def test_parallel_identical_to_serial(self, serial_sweep):
+        wls = [get_workload(n) for n in WORKLOADS]
+        par = run_sweep(wls, LEVELS, WIDTHS, jobs=2)
+        assert list(par.results.keys()) == list(serial_sweep.results.keys())
+        for k in serial_sweep.results:
+            assert _key_fields(par.results[k]) == _key_fields(serial_sweep.results[k])
+
+    def test_run_config_matches_sweep(self, serial_sweep):
+        """The single-configuration path agrees with the sharded task path."""
+        r = run_config(get_workload("sum"), Level.LEV4, MachineConfig(issue_width=8))
+        assert _key_fields(r) == _key_fields(serial_sweep.get("sum", Level.LEV4, 8))
+
+    def test_phase_timings_recorded(self, serial_sweep):
+        rs = list(serial_sweep.results.values())
+        # transform cost is attributed to the first width of each task...
+        assert all(r.t_compile > 0 for r in rs if r.width == WIDTHS[0])
+        # ...and never smeared over the others
+        assert all(r.t_compile == 0 for r in rs if r.width != WIDTHS[0])
+        assert all(r.t_schedule > 0 and r.t_simulate > 0 for r in rs)
+
+
+class TestJournalResume:
+    def test_resume_skips_finished_configs(self, serial_sweep, tmp_path):
+        journal = tmp_path / "sweep.journal.jsonl"
+        wls = [get_workload(n) for n in WORKLOADS]
+
+        first = run_sweep(wls[:2], LEVELS, WIDTHS, journal=journal)
+        assert first.computed == 2 * len(LEVELS) * len(WIDTHS)
+        assert first.reused == 0
+
+        resumed = run_sweep(wls, LEVELS, WIDTHS, journal=journal, jobs=2)
+        assert resumed.reused == first.computed  # nothing recomputed
+        assert resumed.computed == len(LEVELS) * len(WIDTHS)  # only maxval
+        for k in serial_sweep.results:
+            assert _key_fields(resumed.results[k]) == _key_fields(serial_sweep.results[k])
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        wls = [get_workload("add")]
+        run_sweep(wls, LEVELS, WIDTHS, journal=journal)
+        journal.write_text(journal.read_text() + '{"workload": "tru')  # died mid-write
+        again = run_sweep(wls, LEVELS, WIDTHS, journal=journal)
+        assert again.computed == 0
+        assert again.reused == len(LEVELS) * len(WIDTHS)
+
+    def test_mismatched_header_rejected(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        run_sweep([get_workload("add")], LEVELS, WIDTHS, seed=0, journal=journal)
+        assert read_journal(journal, seed=1, check=True) == {}
+        assert len(read_journal(journal, seed=0, check=True)) == 4
+
+    def test_resume_false_recomputes(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        wls = [get_workload("add")]
+        run_sweep(wls, LEVELS, WIDTHS, journal=journal)
+        fresh = run_sweep(wls, LEVELS, WIDTHS, journal=journal, resume=False)
+        assert fresh.reused == 0
+        assert fresh.computed == len(LEVELS) * len(WIDTHS)
+
+
+class TestPartialCache:
+    def test_partial_grid_loadable_on_request(self, serial_sweep, tmp_path):
+        p = tmp_path / "sweep.json"
+        save_sweep(serial_sweep, p)
+        assert load_sweep(p) is None  # figures need the full grid
+        part = load_sweep(p, require_complete=False)
+        assert part is not None
+        assert len(part.results) == len(serial_sweep.results)
+        for k in serial_sweep.results:
+            assert _key_fields(part.results[k]) == _key_fields(serial_sweep.results[k])
+
+    def test_version3_payload_still_loads(self, serial_sweep, tmp_path):
+        p = tmp_path / "sweep.json"
+        save_sweep(serial_sweep, p)
+        payload = json.loads(p.read_text())
+        payload["version"] = 3
+        for r in payload["results"]:
+            for f in ("t_compile", "t_schedule", "t_simulate"):
+                del r[f]
+        p.write_text(json.dumps(payload))
+        v3 = load_sweep(p, require_complete=False)
+        assert v3 is not None
+        assert len(v3.results) == len(serial_sweep.results)
+        assert all(r.t_compile == 0.0 for r in v3.results.values())
+
+    def test_unknown_version_rejected(self, serial_sweep, tmp_path):
+        p = tmp_path / "sweep.json"
+        save_sweep(serial_sweep, p)
+        payload = json.loads(p.read_text())
+        payload["version"] = CACHE_VERSION + 1
+        p.write_text(json.dumps(payload))
+        assert load_sweep(p, require_complete=False) is None
