@@ -7,6 +7,12 @@
     python -m repro sweep [--force] [--jobs N]   # full grid -> results/
     python -m repro sweep --workloads add,sum --jobs 2   # subset smoke run
     python -m repro mii dotprod                  # software-pipelining bounds
+    python -m repro check                        # differential oracle, all 40
+    python -m repro check --fuzz 50              # + seeded random loop nests
+
+``--check`` on compile/run/sweep runs the IR invariant verifier between
+every compiler pass (def-before-use on all paths, operand classes and
+arity, branch-target validity, coloring consistency).
 """
 
 from __future__ import annotations
@@ -65,10 +71,11 @@ def cmd_compile(args) -> int:
     from .pipeline import apply_ilp_transforms, schedule_function
 
     sb, rep = apply_ilp_transforms(
-        lk.func, lk.counted[lk.inner_header], level, machine, lk.live_out_exit
+        lk.func, lk.counted[lk.inner_header], level, machine, lk.live_out_exit,
+        check=args.check,
     )
     schedule_function(lk.func, machine, lk.live_out_exit, sb=sb,
-                      doall=lk.inner_kind == "doall")
+                      doall=lk.inner_kind == "doall", check=args.check)
     print(f"\n=== {level.label} on issue-{args.width or 'inf'}: "
           f"unroll x{rep.unroll_factor}, {rep.renamed} renamed, "
           f"{rep.inductions} ind, {rep.accumulators} acc, "
@@ -84,10 +91,11 @@ def cmd_run(args) -> int:
     w = get_workload(args.workload)
     machine = MachineConfig(issue_width=args.width)
     levels = list(Level) if args.all_levels else [Level(args.level)]
-    base = run_config(w, Level.CONV, MachineConfig(issue_width=1)).cycles
+    base = run_config(w, Level.CONV, MachineConfig(issue_width=1),
+                      check_ir=args.check).cycles
     print(f"{w.name} (type={w.loop_type}); baseline issue-1/Conv = {base} cycles")
     for level in levels:
-        r = run_config(w, level, machine)
+        r = run_config(w, level, machine, check_ir=args.check)
         print(f"  {level.label}@issue-{args.width}: {r.cycles} cycles, "
               f"{r.instructions} instrs, speedup {base / r.cycles:.2f}, "
               f"{r.total_regs} regs  [checked]")
@@ -105,7 +113,7 @@ def cmd_sweep(args) -> int:
         wls = [get_workload(n) for n in args.workloads.split(",")]
         journal = Path(args.journal) if args.journal else None
         data = run_sweep(wls, verbose=True, jobs=args.jobs, journal=journal,
-                         resume=not args.force)
+                         resume=not args.force, check_ir=args.check)
         for (name, level, width), r in data.results.items():
             print(f"{name:<14}{Level(level).label:<6}issue-{width}: "
                   f"{r.cycles} cycles, {r.instructions} instrs, "
@@ -119,7 +127,48 @@ def cmd_sweep(args) -> int:
     argv = ["--jobs", str(args.jobs)]
     if args.force:
         argv.append("--force")
+    if args.check:
+        argv.append("--check")
     return run_all_main(argv)
+
+
+def cmd_check(args) -> int:
+    """The differential correctness oracle (and optional fuzzing)."""
+    from .check import fuzz as run_fuzz
+    from .check import run_oracle
+
+    widths = tuple(int(x) for x in args.widths.split(","))
+    failed = False
+
+    if not args.fuzz_only:
+        wls = ([get_workload(n) for n in args.workloads.split(",")]
+               if args.workloads else None)
+        n = len(wls) if wls else len(all_workloads())
+        print(f"differential oracle: {n} kernels x {len(list(Level))} levels "
+              f"x widths {list(widths)} "
+              f"({'with' if not args.no_ir_check else 'without'} IR checks)")
+        report = run_oracle(wls, widths=widths, seed=args.seed,
+                            check_ir=not args.no_ir_check, verbose=args.verbose)
+        print(report.summary())
+        for d in report.divergences:
+            print(f"  {d}")
+        failed = failed or not report.ok
+
+    if args.fuzz:
+        print(f"fuzz: {args.fuzz} seeded random loop nests "
+              f"(base seed {args.seed})")
+        failures = run_fuzz(args.fuzz, seed=args.seed, widths=widths,
+                            check_ir=not args.no_ir_check,
+                            verbose=args.verbose)
+        if failures:
+            print(f"fuzz: {len(failures)} diverging case(s)")
+            for f in failures:
+                print(f"  {f}")
+            failed = True
+        else:
+            print(f"fuzz: {args.fuzz} cases ok")
+
+    return 1 if failed else 0
 
 
 def cmd_mii(args) -> int:
@@ -150,18 +199,22 @@ def main(argv=None) -> int:
     p = sub.add_parser("show", help="print a workload's source + metadata")
     p.add_argument("workload")
 
+    check_help = ("run the IR invariant verifier between every compiler pass")
+
     p = sub.add_parser("compile", help="print IR through the pipeline")
     p.add_argument("workload")
     p.add_argument("--level", type=int, default=4, choices=range(5))
     p.add_argument("--width", type=int, default=8)
     p.add_argument("--stage", choices=("naive", "conv", "final", "all"),
                    default="final")
+    p.add_argument("--check", action="store_true", help=check_help)
 
     p = sub.add_parser("run", help="compile, simulate, and check a workload")
     p.add_argument("workload")
     p.add_argument("--level", type=int, default=4, choices=range(5))
     p.add_argument("--width", type=int, default=8)
     p.add_argument("--all-levels", action="store_true")
+    p.add_argument("--check", action="store_true", help=check_help)
 
     p = sub.add_parser("sweep", help="run the full evaluation grid")
     p.add_argument("--force", action="store_true")
@@ -173,15 +226,36 @@ def main(argv=None) -> int:
     p.add_argument("--journal", metavar="PATH",
                    help="JSONL journal for a --workloads sweep (enables "
                         "resuming an interrupted run)")
+    p.add_argument("--check", action="store_true", help=check_help)
 
     p = sub.add_parser("mii", help="software-pipelining bounds per level")
     p.add_argument("workload")
     p.add_argument("--width", type=int, default=8)
 
+    p = sub.add_parser(
+        "check",
+        help="differential oracle: every kernel at every level must "
+             "bit-match its unoptimized reference execution",
+    )
+    p.add_argument("--workloads", metavar="A,B,...",
+                   help="comma-separated subset (default: all 40)")
+    p.add_argument("--widths", default="1,8", metavar="W,W,...",
+                   help="issue widths to check (default: 1,8)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="input-data / fuzz base seed (default: 0)")
+    p.add_argument("--fuzz", type=int, default=0, metavar="N",
+                   help="additionally fuzz N random loop nests")
+    p.add_argument("--fuzz-only", action="store_true",
+                   help="skip the corpus oracle, only fuzz")
+    p.add_argument("--no-ir-check", action="store_true",
+                   help="skip the between-pass invariant verifier")
+    p.add_argument("--verbose", action="store_true")
+
     args = ap.parse_args(argv)
     return {
         "list": cmd_list, "show": cmd_show, "compile": cmd_compile,
         "run": cmd_run, "sweep": cmd_sweep, "mii": cmd_mii,
+        "check": cmd_check,
     }[args.cmd](args)
 
 

@@ -80,10 +80,13 @@ def main(argv=None) -> int:
     ap.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="worker processes for the sweep (default: 1); "
                          "results are identical at any job count")
+    ap.add_argument("--check", action="store_true",
+                    help="run the IR invariant verifier between every "
+                         "compiler pass of every configuration")
     args = ap.parse_args(argv)
 
     data = sweep_cached(force=args.force, verbose=not args.quiet,
-                        jobs=args.jobs)
+                        jobs=args.jobs, check_ir=args.check)
     outdir = default_cache_path().parent
     outdir.mkdir(parents=True, exist_ok=True)
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
@@ -88,6 +89,8 @@ class SweepData:
     #: configurations computed this run vs. reloaded from a journal
     computed: int = 0
     reused: int = 0
+    #: corrupt/truncated journal lines skipped while resuming
+    journal_skipped: int = 0
 
     def get(self, name: str, level: Level, width: int) -> ConfigResult:
         return self.results[(name, int(level), width)]
@@ -162,13 +165,14 @@ def _run_task(task: tuple) -> list[ConfigResult]:
     result; each width schedules and simulates its own clone of the
     transformed code.
     """
-    name, level_int, widths, seed, check = task
+    name, level_int, widths, seed, check, check_ir = task
     w = get_workload(name)
     level = Level(level_int)
 
     conv, t_conv = _conv_cached(w)
     t0 = time.perf_counter()
-    tk = ilp_transform(conv.clone(), level, MachineConfig(issue_width=widths[0]))
+    tk = ilp_transform(conv.clone(), level, MachineConfig(issue_width=widths[0]),
+                       check=check_ir)
     t_transform = t_conv + (time.perf_counter() - t0)
 
     arrays, scalars = _inputs_cached(w, seed)
@@ -178,7 +182,7 @@ def _run_task(task: tuple) -> list[ConfigResult]:
         t0 = time.perf_counter()
         # the last width may consume tk itself: nothing reads it afterwards
         clone = tk.clone() if i + 1 < len(widths) else tk
-        ck = schedule_kernel(clone, machine)
+        ck = schedule_kernel(clone, machine, check=check_ir)
         t_sched = time.perf_counter() - t0
         out.append(_measure(w, ck, arrays, scalars, check,
                             t_transform, t_sched))
@@ -188,20 +192,22 @@ def _run_task(task: tuple) -> list[ConfigResult]:
 
 def run_config(
     w: Workload, level: Level, machine: MachineConfig, seed: int = 0,
-    check: bool = True,
+    check: bool = True, check_ir: bool = False,
 ) -> ConfigResult:
     """Compile, simulate, and check a single configuration.
 
     Unlike the sweep tasks this honors the full ``machine`` (custom
     latencies / slot limits — the ablation benchmarks use those); the
     classical stage is still reused across calls per workload.
+    ``check_ir=True`` additionally runs the between-pass invariant
+    verifier (the CLI ``--check`` flag).
     """
     conv, t_conv = _conv_cached(w)
     t0 = time.perf_counter()
-    tk = ilp_transform(conv.clone(), level, machine)
+    tk = ilp_transform(conv.clone(), level, machine, check=check_ir)
     t_compile = t_conv + (time.perf_counter() - t0)
     t0 = time.perf_counter()
-    ck = schedule_kernel(tk, machine)
+    ck = schedule_kernel(tk, machine, check=check_ir)
     t_sched = time.perf_counter() - t0
     arrays, scalars = _inputs_cached(w, seed)
     return _measure(w, ck, arrays, scalars, check, t_compile, t_sched)
@@ -212,36 +218,44 @@ def run_config(
 # ---------------------------------------------------------------------------
 
 
-def _journal_header(seed: int, check: bool) -> dict:
-    return {"version": CACHE_VERSION, "seed": seed, "check": check}
+def _journal_header(seed: int, check: bool, check_ir: bool = False) -> dict:
+    return {"version": CACHE_VERSION, "seed": seed, "check": check,
+            "check_ir": check_ir}
 
 
-def read_journal(path: Path, seed: int, check: bool) -> dict[tuple, ConfigResult]:
+def read_journal(
+    path: Path, seed: int, check: bool, check_ir: bool = False,
+    on_skip=None,
+) -> dict[tuple, ConfigResult]:
     """Finished configurations from an (possibly interrupted) journal.
 
-    Tolerates a truncated final line (the process died mid-write) and
-    rejects the whole journal if the header does not match the requested
-    sweep parameters.
+    Skips truncated or corrupt lines (the process died mid-write — a torn
+    line may even be invalid UTF-8, so parsing works on raw bytes) and
+    reports each skip through ``on_skip(lineno, raw_line)``.  The whole
+    journal is rejected if the header does not match the requested sweep
+    parameters.
     """
     results: dict[tuple, ConfigResult] = {}
     try:
-        lines = path.read_text().splitlines()
+        lines = path.read_bytes().splitlines()
     except OSError:
         return results
     if not lines:
         return results
     try:
         header = json.loads(lines[0])
-    except json.JSONDecodeError:
+    except (UnicodeDecodeError, json.JSONDecodeError):
         return results
-    if header != _journal_header(seed, check):
+    if header != _journal_header(seed, check, check_ir):
         return results
-    for line in lines[1:]:
+    for lineno, line in enumerate(lines[1:], start=2):
         try:
             d = json.loads(line)
             r = ConfigResult(**d)
-        except (json.JSONDecodeError, TypeError):
-            continue  # truncated / malformed tail
+        except (UnicodeDecodeError, json.JSONDecodeError, TypeError):
+            if on_skip is not None:
+                on_skip(lineno, line)
+            continue  # truncated / malformed line
         results[(r.workload, r.level, r.width)] = r
     return results
 
@@ -266,6 +280,7 @@ def run_sweep(
     jobs: int = 1,
     journal: Path | None = None,
     resume: bool = True,
+    check_ir: bool = False,
 ) -> SweepData:
     """Run the evaluation grid.
 
@@ -274,6 +289,8 @@ def run_sweep(
     JSON line; rerunning with ``resume=True`` (the default) reloads the
     finished part and computes only the remainder.  Serial, parallel,
     resumed, and fresh sweeps all produce identical results.
+    ``check_ir=True`` runs the invariant verifier between every compiler
+    pass of every configuration (the CLI ``--check`` flag).
     """
     workloads = workloads or all_workloads()
     data = SweepData()
@@ -284,9 +301,17 @@ def run_sweep(
             (w.name, int(lv), wd)
             for w in workloads for lv in levels for wd in widths
         }
-        for key, r in read_journal(journal, seed, check).items():
+        skipped: list[int] = []
+        loaded = read_journal(journal, seed, check, check_ir,
+                              on_skip=lambda lineno, raw: skipped.append(lineno))
+        for key, r in loaded.items():
             if key in wanted:
                 data.results[key] = r
+        data.journal_skipped = len(skipped)
+        if skipped:
+            print(f"  journal {journal}: skipped {len(skipped)} corrupt "
+                  f"line(s) (first at line {skipped[0]}); "
+                  f"those configurations will be recomputed", file=sys.stderr)
     data.reused = len(data.results)
 
     # one task per (workload, level): the widths of a cell share their
@@ -298,16 +323,21 @@ def run_sweep(
                 wd for wd in widths if (w.name, int(level), wd) not in data.results
             )
             if missing:
-                tasks.append((w.name, int(level), missing, seed, check))
+                tasks.append((w.name, int(level), missing, seed, check, check_ir))
 
     jf = None
     if journal is not None and tasks:
         journal.parent.mkdir(parents=True, exist_ok=True)
         fresh = not (resume and data.results)
+        torn_tail = (not fresh and journal.exists()
+                     and not journal.read_bytes().endswith(b"\n"))
         jf = journal.open("w" if fresh else "a")
         if fresh:
-            jf.write(json.dumps(_journal_header(seed, check)) + "\n")
+            jf.write(json.dumps(_journal_header(seed, check, check_ir)) + "\n")
             jf.flush()
+        elif torn_tail:
+            # terminate a torn final line so appended records stay parseable
+            jf.write("\n")
 
     def record(rs: list[ConfigResult]) -> None:
         for r in rs:
@@ -393,20 +423,23 @@ def load_sweep(path: Path | None = None, require_complete: bool = True) -> Sweep
     return data
 
 
-def sweep_cached(force: bool = False, verbose: bool = False, jobs: int = 1) -> SweepData:
+def sweep_cached(force: bool = False, verbose: bool = False, jobs: int = 1,
+                 check_ir: bool = False) -> SweepData:
     """Load the cached grid or compute and cache it.
 
     Computation journals to ``results/sweep.journal.jsonl``, so an
     interrupted sweep resumes where it stopped; the journal is removed
-    once the full grid is saved.
+    once the full grid is saved.  ``check_ir=True`` forces a fresh sweep
+    with the between-pass invariant verifier on (never satisfied from the
+    cache, which does not record verification).
     """
-    if not force:
+    if not force and not check_ir:
         cached = load_sweep()
         if cached is not None:
             return cached
     journal = default_journal_path()
     data = run_sweep(verbose=verbose, jobs=jobs, journal=journal,
-                     resume=not force)
+                     resume=not force, check_ir=check_ir)
     save_sweep(data)
     journal.unlink(missing_ok=True)
     return data

@@ -145,11 +145,13 @@ def ilp_transform(
     machine: MachineConfig,
     unroll_factor: int | None = None,
     thr_unit_latency: bool = False,
+    check: bool = False,
 ) -> TransformedKernel:
     """Stage 2: apply the paper's ILP transformations at ``level``.
 
     Mutates ``conv``'s function in place (pass ``conv.clone()`` to keep the
     stage-1 result reusable).  Observes only ``machine.latency_key()``.
+    ``check=True`` runs the invariant verifier between every pass.
     """
     lk = conv.lowered
     counted = lk.counted[lk.inner_header]
@@ -161,21 +163,29 @@ def ilp_transform(
         lk.live_out_exit,
         unroll_factor,
         thr_unit_latency=thr_unit_latency,
+        check=check,
     )
     return TransformedKernel(lk, level, sb, conv.conv_report, ilp_rep)
 
 
-def schedule_kernel(tk: TransformedKernel, machine: MachineConfig) -> CompiledKernel:
+def schedule_kernel(
+    tk: TransformedKernel, machine: MachineConfig, check: bool = False
+) -> CompiledKernel:
     """Stage 3: list-schedule a transformed kernel for a concrete machine.
 
     Mutates ``tk``'s function in place (pass ``tk.clone()`` to schedule the
-    same transformed code for several widths).
+    same transformed code for several widths).  ``check=True`` verifies
+    invariants on the scheduled code and the register coloring.
     """
     lk = tk.lowered
     doall = lk.inner_kind == "doall"
     schedules = schedule_function(
-        lk.func, machine, lk.live_out_exit, sb=tk.sb, doall=doall
+        lk.func, machine, lk.live_out_exit, sb=tk.sb, doall=doall, check=check
     )
+    if check:
+        from .regalloc import measure_register_usage
+
+        measure_register_usage(lk.func, lk.live_out_exit, check=True)
     return CompiledKernel(
         lk, tk.level, machine, tk.sb, schedules, tk.conv_report, tk.ilp_report
     )
@@ -187,13 +197,18 @@ def compile_kernel(
     machine: MachineConfig,
     unroll_factor: int | None = None,
     thr_unit_latency: bool = False,
+    check: bool = False,
 ) -> CompiledKernel:
-    """Lower, classically optimize, ILP-transform, and schedule a kernel."""
+    """Lower, classically optimize, ILP-transform, and schedule a kernel.
+
+    ``check=True`` turns on the between-pass invariant verifier for every
+    stage (the CLI ``--check`` flag).
+    """
     tk = ilp_transform(
         lower_conv(kernel), level, machine, unroll_factor,
-        thr_unit_latency=thr_unit_latency,
+        thr_unit_latency=thr_unit_latency, check=check,
     )
-    return schedule_kernel(tk, machine)
+    return schedule_kernel(tk, machine, check=check)
 
 
 @dataclass
@@ -208,21 +223,22 @@ class KernelRun:
         return self.instructions / self.cycles if self.cycles else 0.0
 
 
-def run_compiled_kernel(
-    ck: CompiledKernel,
+def bind_inputs(
+    lowered: LoweredKernel,
     arrays: dict[str, np.ndarray] | None = None,
     scalars: dict[str, float | int] | None = None,
-    max_cycles: int = 200_000_000,
-) -> KernelRun:
-    """Simulate a compiled kernel on bound data.
+) -> tuple[Memory, dict[int, int], dict[int, float]]:
+    """Bind workload data for execution: arrays into simulated memory,
+    input scalars into register live-in maps.
 
     Every declared array must be provided with matching total size; input
-    scalars default to 0.  Returns final array contents and the kernel's
-    declared output scalars.
+    scalars default to 0.  Shared by the cycle-accurate simulator
+    (:func:`run_compiled_kernel`) and the reference evaluator
+    (:mod:`repro.check.refeval`), so both execute from identical state.
     """
     arrays = arrays or {}
     scalars = scalars or {}
-    kernel = ck.lowered.kernel
+    kernel = lowered.kernel
     mem = Memory()
     for name, decl in kernel.arrays.items():
         if name not in arrays:
@@ -236,7 +252,7 @@ def run_compiled_kernel(
 
     iregs: dict[int, int] = {}
     fregs: dict[int, float] = {}
-    for name, reg in ck.lowered.scalar_regs.items():
+    for name, reg in lowered.scalar_regs.items():
         ty = kernel.scalars.get(name)
         if ty is None:
             continue  # loop variables and such: defined by the code
@@ -245,9 +261,20 @@ def run_compiled_kernel(
             fregs[reg.id] = float(val)
         else:
             iregs[reg.id] = int(val)
+    return mem, iregs, fregs
 
-    res = simulate(ck.func, ck.machine, mem, iregs, fregs, max_cycles=max_cycles)
 
+def collect_outputs(
+    lowered: LoweredKernel,
+    mem: Memory,
+    iregs: dict[int, int],
+    fregs: dict[int, float],
+    scalars_in: dict[str, float | int] | None = None,
+) -> tuple[dict[str, np.ndarray], dict[str, float | int]]:
+    """Read final array contents and declared output scalars back out of an
+    execution's end state (counterpart of :func:`bind_inputs`)."""
+    scalars_in = scalars_in or {}
+    kernel = lowered.kernel
     out_arrays = {
         name: mem.read_array(
             name, decl.dims,
@@ -257,10 +284,30 @@ def run_compiled_kernel(
     }
     out_scalars: dict[str, float | int] = {}
     for name in kernel.outputs:
-        reg = ck.lowered.scalar_regs[name]
-        bank = res.fregs if reg.is_fp else res.iregs
+        reg = lowered.scalar_regs[name]
+        bank = fregs if reg.is_fp else iregs
         if reg.id in bank:
             out_scalars[name] = bank[reg.id]
         else:  # never written: the input value flows through
-            out_scalars[name] = scalars.get(name, 0)
+            out_scalars[name] = scalars_in.get(name, 0)
+    return out_arrays, out_scalars
+
+
+def run_compiled_kernel(
+    ck: CompiledKernel,
+    arrays: dict[str, np.ndarray] | None = None,
+    scalars: dict[str, float | int] | None = None,
+    max_cycles: int = 200_000_000,
+) -> KernelRun:
+    """Simulate a compiled kernel on bound data.
+
+    Every declared array must be provided with matching total size; input
+    scalars default to 0.  Returns final array contents and the kernel's
+    declared output scalars.
+    """
+    mem, iregs, fregs = bind_inputs(ck.lowered, arrays, scalars)
+    res = simulate(ck.func, ck.machine, mem, iregs, fregs, max_cycles=max_cycles)
+    out_arrays, out_scalars = collect_outputs(
+        ck.lowered, mem, res.iregs, res.fregs, scalars or {}
+    )
     return KernelRun(res.cycles, res.instructions, out_arrays, out_scalars)

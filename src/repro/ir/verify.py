@@ -1,7 +1,7 @@
-"""Structural and type verifier for IR functions.
+"""Structural, type, and dataflow verifier for IR functions.
 
-Run after construction and after every transformation pass (the pipeline
-does this in debug mode) to catch malformed IR early:
+:func:`verify_function` checks structure after construction and after
+every transformation pass to catch malformed IR early:
 
 * operand arity and register classes match the opcode signature;
 * branch targets name existing blocks;
@@ -9,11 +9,23 @@ does this in debug mode) to catch malformed IR early:
 * no instruction object appears twice;
 * unconditional jumps/branches only as allowed (side exits are permitted —
   superblocks rely on them — but a jump must terminate its block).
+
+:func:`verify_def_before_use` adds a must-define forward dataflow check:
+every register read must be written on *every* path from the entry (or be
+defined on entry — harness-bound input scalars).  This is the invariant
+renaming, the expansions, and scheduling must preserve: a transformation
+that moves a use above its definition, or leaves an off-trace path reading
+a register only the on-trace path initializes, is a miscompile even when
+the hot path happens to execute correctly.
+
+:func:`verify_pipeline` bundles both; the compilation pipeline runs it
+between every pass when invoked with ``check=True`` (the CLI ``--check``
+flag).
 """
 
 from __future__ import annotations
 
-from .function import Function
+from .function import Function, reachable_labels
 from .instructions import Instr, Kind, Op, OP_INFO
 from .operands import FImm, Imm, Reg, RegClass, Sym
 
@@ -69,3 +81,101 @@ def verify_function(func: Function) -> None:
                 )
             if ins.op is Op.JMP and idx != len(blk.instrs) - 1:
                 raise VerifyError(f"jump mid-block in {blk.label}")
+
+
+def verify_def_before_use(
+    func: Function, defined_on_entry: set[Reg] | None = None
+) -> None:
+    """Every register use must be dominated by a definition on all paths.
+
+    ``defined_on_entry`` lists registers initialized outside the
+    instruction stream (the harness binds one per declared kernel scalar —
+    ``Function.pinned_regs`` for lowered kernels).  Only blocks reachable
+    from the entry are checked: mid-pipeline IR may hold detached blocks
+    that a later cleanup removes.
+    """
+    if not func.blocks:
+        return
+    entry_defs = set(defined_on_entry or ())
+    reachable = reachable_labels(func)
+    bm = func.block_map()
+
+    # Edge-sensitive def sets: a superblock body takes side exits
+    # *mid-block*, so a definition after a side-exit branch does not reach
+    # that branch's target.  For every CFG edge record the defs
+    # accumulated up to the branching position (fall-through: the whole
+    # block).  A target branched to from several positions keeps every
+    # edge instance — must-define intersects them all.
+    edges: dict[str, list[tuple[str, frozenset[Reg]]]] = {
+        lab: [] for lab in reachable
+    }
+    for blk in func.blocks:
+        if blk.label not in reachable:
+            continue
+        defs: set[Reg] = set()
+        for ins in blk.instrs:
+            if ins.is_control and ins.target is not None:
+                t = ins.target.name
+                if t in edges:
+                    edges[t].append((blk.label, frozenset(defs)))
+            if ins.dest is not None:
+                defs.add(ins.dest)
+        ft = func.fallthrough_succ(blk)
+        if ft is not None and ft in edges:
+            edges[ft].append((blk.label, frozenset(defs)))
+
+    # forward must-define dataflow to fixpoint: defined-in of a block is
+    # the intersection over incoming edges of (pred defined-in + defs
+    # accumulated at the edge's position)
+    universe: set[Reg] = set(entry_defs)
+    for blk in func.blocks:
+        for ins in blk.instrs:
+            if ins.dest is not None:
+                universe.add(ins.dest)
+    defined_in: dict[str, set[Reg]] = {lab: set(universe) for lab in reachable}
+    defined_in[func.entry.label] = set(entry_defs)
+    changed = True
+    while changed:
+        changed = False
+        for blk in func.blocks:
+            lab = blk.label
+            if lab not in reachable or lab == func.entry.label:
+                continue
+            ins_set = set(universe)
+            for p, edge_defs in edges[lab]:
+                ins_set &= defined_in[p] | edge_defs
+            if ins_set != defined_in[lab]:
+                defined_in[lab] = ins_set
+                changed = True
+
+    for blk in func.blocks:
+        if blk.label not in reachable:
+            continue
+        defined = set(defined_in[blk.label])
+        for ins in blk.instrs:
+            for r in ins.reg_uses():
+                if r not in defined:
+                    raise VerifyError(
+                        f"{func.name}/{blk.label}: {ins!r} uses {r} before "
+                        f"any definition on some path"
+                    )
+            if ins.dest is not None:
+                defined.add(ins.dest)
+
+
+def verify_pipeline(
+    func: Function,
+    defined_on_entry: set[Reg] | None = None,
+    stage: str = "",
+) -> None:
+    """Full between-pass invariant check: structure + def-before-use.
+
+    ``stage`` names the pass that just ran, for error provenance.
+    """
+    try:
+        verify_function(func)
+        verify_def_before_use(func, defined_on_entry)
+    except VerifyError as e:
+        if stage:
+            raise VerifyError(f"[after {stage}] {e}") from None
+        raise

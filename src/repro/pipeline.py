@@ -28,7 +28,7 @@ from .analysis.loopvars import CountedLoop
 from .ir.function import Function
 from .ir.loop import find_loops
 from .ir.operands import Reg
-from .ir.verify import verify_function
+from .ir.verify import verify_function, verify_pipeline
 from .machine import MachineConfig
 from .schedule.listsched import Schedule, list_schedule
 from .schedule.superblock import SuperblockLoop, form_superblock
@@ -103,24 +103,35 @@ def apply_ilp_transforms(
     live_out_exit: set[Reg] | None = None,
     unroll_factor: int | None = None,
     thr_unit_latency: bool = False,
+    check: bool = False,
 ) -> tuple[SuperblockLoop, TransformReport]:
     """Transform the inner loop described by ``counted`` at ``level``.
 
     Returns the superblock descriptor and a report of what fired.  The
-    function is verified after transformation.
+    function is verified after transformation; with ``check=True`` the
+    full invariant verifier (:func:`repro.ir.verify.verify_pipeline`)
+    additionally runs *between every pass*, so the first pass to break an
+    invariant is named in the failure.
     """
     live_out_exit = live_out_exit or set()
     report = TransformReport()
 
+    def _checkpoint(stage: str) -> None:
+        if check:
+            verify_pipeline(func, set(func.pinned_regs), stage=stage)
+
+    _checkpoint("input")
     if level >= Level.LEV1:
         loop = _find_loop(func, counted.header)
         size = sum(len(func.get_block(lab).instrs) for lab in loop.blocks)
         factor = unroll_factor if unroll_factor is not None else choose_unroll_factor(size)
         counted = unroll_counted(func, loop, counted, factor)
         report.unroll_factor = factor
+        _checkpoint("unroll")
 
     loop = _find_loop(func, counted.header)
     sb = form_superblock(func, loop, counted)
+    _checkpoint("superblock formation")
 
     # Profitability: the expansion transformations pay compensation code on
     # every side exit taken (and re-initialization on every rejoin).  With
@@ -135,18 +146,25 @@ def apply_ilp_transforms(
 
     if level >= Level.LEV4 and expansions_profitable:
         report.searches = expand_search_variables(sb)
+        _checkpoint("search expansion")
     if level >= Level.LEV2:
         report.renamed = rename_superblock(sb, live_out_exit)
+        _checkpoint("renaming")
     if level >= Level.LEV4 and expansions_profitable:
         report.inductions = expand_inductions(sb)
+        _checkpoint("induction expansion")
         report.accumulators = expand_accumulators(sb)
+        _checkpoint("accumulator expansion")
     if level >= Level.LEV3:
         prot = protected_registers(sb, live_out_exit)
         report.combined = combine_operations(sb.body.instrs, prot)
+        _checkpoint("combining")
         report.reduced = reduce_strength(func, sb.body.instrs)
+        _checkpoint("strength reduction")
         report.trees = reduce_tree_height(
             func, sb.body.instrs, machine, prot, unit_latency=thr_unit_latency
         )
+        _checkpoint("tree height reduction")
 
     # post-transform cleanup: fold the preconditioning arithmetic when the
     # trip count is a compile-time constant (span/div/rem chains become
@@ -159,7 +177,7 @@ def apply_ilp_transforms(
     from .opt.dce import eliminate_dead_code
     from .opt.redundant_mem import eliminate_redundant_memory
 
-    for _ in range(4):
+    for it in range(4):
         prologues = {sb.body.label: prologue_regions(func, sb)}
         n = propagate_constants(func)
         n += propagate_copies_local(func)
@@ -170,11 +188,13 @@ def apply_ilp_transforms(
         n += fold_constant_branches(func)
         n += remove_unreachable(func)
         n += eliminate_dead_code(func, live_out_exit)
+        _checkpoint(f"cleanup iteration {it}")
         if n == 0:
             break
 
     func.reindex_regs()
     verify_function(func)
+    _checkpoint("ILP transform output")
     return sb, report
 
 
@@ -222,13 +242,17 @@ def schedule_function(
     live_out_exit: set[Reg] | None = None,
     sb: SuperblockLoop | None = None,
     doall: bool = False,
+    check: bool = False,
 ) -> dict[str, Schedule]:
     """List-schedule every block of ``func`` in place.
 
     Side-exit speculation limits come from the live-in sets of branch
     targets.  For the superblock body (``sb``), memory disambiguation sees
     the preheader and, for DOALL loops, the cross-iteration independence
-    assertion.  Returns the per-block schedules (keyed by label).
+    assertion.  Returns the per-block schedules (keyed by label).  With
+    ``check=True`` the invariant verifier runs on the scheduled function —
+    a scheduler that reorders a use above its flow-dependent definition is
+    caught here.
     """
     lv = liveness(func, live_out_exit or set())
     regions = prologue_regions(func, sb) if sb is not None else None
@@ -250,4 +274,6 @@ def schedule_function(
         )
         blk.instrs = sched.order
         schedules[blk.label] = sched
+    if check:
+        verify_pipeline(func, set(func.pinned_regs), stage="list scheduling")
     return schedules

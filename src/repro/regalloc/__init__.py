@@ -1,9 +1,16 @@
 """repro.regalloc — register usage measurement (interference + coloring)."""
 
 from .interference import InterferenceGraph, build_interference
-from .coloring import RegisterUsage, color_class, measure_register_usage
+from .coloring import (
+    ColoringError,
+    RegisterUsage,
+    color_class,
+    measure_register_usage,
+    verify_coloring,
+)
 
 __all__ = [
     "InterferenceGraph", "build_interference",
-    "RegisterUsage", "color_class", "measure_register_usage",
+    "ColoringError", "RegisterUsage", "color_class",
+    "measure_register_usage", "verify_coloring",
 ]

@@ -69,12 +69,41 @@ class RegisterUsage:
         return self.int_regs + self.fp_regs
 
 
+class ColoringError(AssertionError):
+    pass
+
+
+def verify_coloring(g: InterferenceGraph, colors: dict[Reg, int]) -> None:
+    """Post-regalloc consistency: a coloring is valid iff every node got a
+    color and no interference edge connects two same-colored registers.
+
+    The paper's register statistic is only meaningful if the coloring
+    respects interference — a violation means two simultaneously-live
+    values would share a physical register, i.e. a silent miscompile on
+    real hardware even though the virtual-register simulator runs fine.
+    """
+    for r, c in colors.items():
+        if c < 0:
+            raise ColoringError(f"{r}: negative color {c}")
+        for n in g.adj.get(r, ()):
+            cn = colors.get(n)
+            if cn is None:
+                raise ColoringError(f"{n} interferes with {r} but is uncolored")
+            if cn == c:
+                raise ColoringError(
+                    f"interfering registers {r} and {n} share color {c}"
+                )
+
+
 def measure_register_usage(
-    func: Function, live_out_exit: set[Reg] | None = None
+    func: Function, live_out_exit: set[Reg] | None = None, check: bool = False
 ) -> RegisterUsage:
     g = build_interference(func, live_out_exit)
     ints = color_class(g, RegClass.INT)
     fps = color_class(g, RegClass.FP)
+    if check:
+        verify_coloring(g, ints)
+        verify_coloring(g, fps)
     n_int = (max(ints.values()) + 1) if ints else 0
     n_fp = (max(fps.values()) + 1) if fps else 0
     return RegisterUsage(n_int, n_fp)

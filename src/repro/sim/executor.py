@@ -44,6 +44,11 @@ def _irem(a: int, b: int) -> int:
     return a - b * _idiv(a, b)
 
 
+#: Scalar semantics shared with the reference evaluator
+#: (:mod:`repro.check.refeval`): the differential oracle tests the
+#: *compiler transformations*, so both executors must agree on what each
+#: opcode computes — any divergence between them is then a transformation
+#: or simulator-machinery bug, never an arithmetic-definition mismatch.
 _ALU2 = {
     Op.ADD: lambda a, b: a + b,
     Op.SUB: lambda a, b: a - b,
@@ -62,6 +67,9 @@ _ALU2 = {
     Op.FDIV: lambda a, b: a / b,
 }
 
+#: public aliases for the shared semantic tables
+ALU_SEMANTICS = _ALU2
+
 _CMP = {
     Op.BLT: lambda a, b: a < b,
     Op.BLE: lambda a, b: a <= b,
@@ -76,6 +84,8 @@ _CMP = {
     Op.FBEQ: lambda a, b: a == b,
     Op.FBNE: lambda a, b: a != b,
 }
+
+CMP_SEMANTICS = _CMP
 
 # instruction categories for the simulator's dispatch
 C_ALU = 0

@@ -29,7 +29,14 @@ from ..ir.operands import FImm, Imm, Operand, Reg
 _INT_BRANCHES = {Op.BLT, Op.BLE, Op.BGT, Op.BGE, Op.BEQ, Op.BNE}
 _FP_BRANCHES = {Op.FBLT, Op.FBLE, Op.FBGT, Op.FBGE, Op.FBEQ, Op.FBNE}
 
-_INT_LIMIT = 1 << 31
+#: signed 32-bit range (asymmetric: -2^31 is representable, 2^31 is not)
+INT32_MIN = -(1 << 31)
+INT32_MAX = (1 << 31) - 1
+
+
+def _fits_int32(v: int) -> bool:
+    """Whether a combined constant stays a legal immediate (footnote 1)."""
+    return INT32_MIN <= v <= INT32_MAX
 
 
 def _int_additive(ins: Instr) -> tuple[Reg, int] | None:
@@ -94,7 +101,7 @@ def _rewrite_int_additive_use(i2: Instr, r1: Reg, a: Reg, delta: int) -> bool:
         if add is None or add[0] != r1:
             return False
         total = add[1] + delta
-        if abs(total) >= _INT_LIMIT:
+        if not _fits_int32(total):
             return False
         i2.op = Op.ADD
         i2.srcs = (a, Imm(total))
@@ -104,13 +111,13 @@ def _rewrite_int_additive_use(i2: Instr, r1: Reg, a: Reg, delta: int) -> bool:
         rest = i2.srcs[2:]
         if base == r1 and isinstance(off, Imm):
             total = off.value + delta
-            if abs(total) >= _INT_LIMIT:
+            if not _fits_int32(total):
                 return False
             i2.srcs = (a, Imm(total)) + rest
             return True
         if off == r1 and isinstance(base, Imm):
             total = base.value + delta
-            if abs(total) >= _INT_LIMIT:
+            if not _fits_int32(total):
                 return False
             i2.srcs = (Imm(total), a) + rest
             return True
@@ -125,13 +132,13 @@ def _rewrite_int_additive_use(i2: Instr, r1: Reg, a: Reg, delta: int) -> bool:
         x, y = i2.srcs
         if x == r1 and isinstance(y, Imm):
             total = y.value - delta
-            if abs(total) >= _INT_LIMIT:
+            if not _fits_int32(total):
                 return False
             i2.srcs = (a, Imm(total))
             return True
         if y == r1 and isinstance(x, Imm):
             total = x.value - delta
-            if abs(total) >= _INT_LIMIT:
+            if not _fits_int32(total):
                 return False
             i2.srcs = (Imm(total), a)
             return True
@@ -162,7 +169,7 @@ def _rewrite_int_mul_use(i2: Instr, r1: Reg, a: Reg, c1: int) -> bool:
     if m is None or m[0] != r1:
         return False
     total = c1 * m[1]
-    if abs(total) >= _INT_LIMIT:
+    if not _fits_int32(total):
         return False
     i2.srcs = (a, Imm(total))
     return True

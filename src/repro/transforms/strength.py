@@ -26,6 +26,12 @@ from ..ir.function import Function
 from ..ir.instructions import Instr, Op
 from ..ir.operands import Imm, Operand, Reg
 
+#: shift count that smears the sign bit across the whole register:
+#: ``x >> SIGN_SMEAR_SHIFT`` (arithmetic) is all-ones for negative x and
+#: zero otherwise.  The datapath is 64-bit (Op.SHRL masks with 2^64 - 1)
+#: even though immediates are 32-bit, so the smear shifts by 63, not 31.
+SIGN_SMEAR_SHIFT = 63
+
 
 def _const_operand(ins: Instr) -> tuple[Reg, int] | None:
     a, b = ins.srcs
@@ -90,7 +96,7 @@ def _emit_div(func: Function, dest: Reg, src: Reg, k: int) -> list[Instr]:
     bias = func.new_int_reg()
     tmp = func.new_int_reg()
     return [
-        Instr(Op.SHRA, sign, (src, Imm(63))),          # all-ones if negative
+        Instr(Op.SHRA, sign, (src, Imm(SIGN_SMEAR_SHIFT))),
         Instr(Op.AND, bias, (sign, Imm((1 << k) - 1))),
         Instr(Op.ADD, tmp, (src, bias)),
         Instr(Op.SHRA, dest, (tmp, Imm(k))),

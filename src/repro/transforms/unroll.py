@@ -180,8 +180,13 @@ def unroll_counted(
     iv0 = _known_entry_value(func, loop, iv)
     lim0 = _known_entry_value(func, loop, limit)
     static_count = None
-    if iv0 is not None and lim0 is not None and (lim0 - iv0) % step == 0:
-        static_count = (lim0 - iv0) // step
+    if iv0 is not None and lim0 is not None:
+        span0 = lim0 - iv0
+        if span0 <= 0:
+            return counted  # do-while: executes exactly once, nothing to unroll
+        # do-while trip count rounds up: the last iteration may overshoot
+        # an inexact span (only possible with a non-unit step)
+        static_count = (span0 + step - 1) // step
         if static_count < 2:
             return counted  # nothing to unroll
         if static_count < factor:
@@ -217,9 +222,20 @@ def unroll_counted(
         rem = func.new_int_reg()
         off = func.new_int_reg()
         pre_limit = func.new_int_reg()
+        setup.append(Instr(Op.SUB, span, (limit, iv)))
+        dividend = span
+        if step != 1:
+            # the trip count is ceil(span/step) — the last iteration runs
+            # even when it overshoots the limit — but DIV truncates, so a
+            # non-unit step with an inexact span would undercount and leave
+            # the main loop a non-multiple of ``factor`` (its intermediate
+            # backedge tests are gone: a miscompile).  Biasing the dividend
+            # by step-1 makes the truncating DIV round up for the positive
+            # spans the loop contract guarantees.
+            dividend = func.new_int_reg()
+            setup.append(Instr(Op.ADD, dividend, (span, Imm(step - 1))))
         setup.extend([
-            Instr(Op.SUB, span, (limit, iv)),
-            Instr(Op.DIV, cnt, (span, Imm(step))),
+            Instr(Op.DIV, cnt, (dividend, Imm(step))),
             Instr(Op.REM, rem, (cnt, Imm(factor))),
             Instr(Op.MUL, off, (rem, Imm(step))),
             Instr(Op.ADD, pre_limit, (iv, off)),

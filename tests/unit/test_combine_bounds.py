@@ -1,0 +1,105 @@
+"""Directed tests for operation combining's boundary behavior.
+
+Two audited properties:
+
+* the overflow guard (paper footnote 1) admits the *full* asymmetric
+  signed 32-bit range — ``-2**31`` is a representable immediate and must
+  combine, while ``-2**31 - 1`` and ``2**31`` must not;
+* the Figure-6 exchange never hoists a branch above the definition of a
+  register that is live at the branch's target (``protected``).
+"""
+
+from repro.ir import int_reg, parse_block
+from repro.transforms.combine import INT32_MAX, INT32_MIN, combine_operations
+
+
+def combine(text: str, protected=frozenset()):
+    body = parse_block(text).instrs
+    n = combine_operations(body, protected)
+    return n, body
+
+
+class TestInt32Bounds:
+    def test_add_hits_int32_min_exactly(self):
+        # -2**31 is representable: the guard must not reject it
+        n, body = combine(f"r1i = r2i + {INT32_MIN + 5}\nr3i = r1i - 5\n")
+        assert n == 1
+        assert str(body[1]) == f"r3i = r2i + {INT32_MIN}"
+
+    def test_add_below_int32_min_rejected(self):
+        n, _ = combine(f"r1i = r2i + {INT32_MIN + 5}\nr3i = r1i - 6\n")
+        assert n == 0
+
+    def test_add_hits_int32_max_exactly(self):
+        n, body = combine(f"r1i = r2i + {INT32_MAX - 5}\nr3i = r1i + 5\n")
+        assert n == 1
+        assert str(body[1]) == f"r3i = r2i + {INT32_MAX}"
+
+    def test_add_above_int32_max_rejected(self):
+        n, _ = combine(f"r1i = r2i + {INT32_MAX - 5}\nr3i = r1i + 6\n")
+        assert n == 0
+
+    def test_mul_hits_int32_min_exactly(self):
+        n, body = combine(f"r1i = r2i * {1 << 30}\nr3i = r1i * -2\n")
+        assert n == 1
+        assert str(body[1]) == f"r3i = r2i * {INT32_MIN}"
+
+    def test_mul_overflow_rejected(self):
+        assert combine(f"r1i = r2i * {1 << 30}\nr3i = r1i * 2\n")[0] == 0
+        assert combine(f"r1i = r2i * {1 << 30}\nr3i = r1i * -3\n")[0] == 0
+
+    def test_branch_constant_at_bounds(self):
+        # branch folding computes C2 - delta: exercise both edges
+        n, body = combine(f"r1i = r2i + 5\nblt (r1i {INT32_MIN + 5}) L\n")
+        assert n == 1
+        assert str(body[1]) == f"blt (r2i {INT32_MIN}) L"
+        assert combine(f"r1i = r2i + 6\nblt (r1i {INT32_MIN + 5}) L\n")[0] == 0
+        n, body = combine(f"r1i = r2i - 5\nblt (r1i {INT32_MAX - 5}) L\n")
+        assert n == 1
+        assert str(body[1]) == f"blt (r2i {INT32_MAX}) L"
+        assert combine(f"r1i = r2i - 6\nblt (r1i {INT32_MAX - 5}) L\n")[0] == 0
+
+    def test_load_offset_at_bounds(self):
+        n, body = combine(
+            f"r1i = r2i + {INT32_MIN + 16}\nr3f = MEM(r1i-16)\n"
+        )
+        assert n == 1
+        assert str(body[1]) == f"r3f = MEM(r2i{INT32_MIN})"
+        assert combine(
+            f"r1i = r2i + {INT32_MIN + 16}\nr3f = MEM(r1i-17)\n"
+        )[0] == 0
+
+
+class TestFigure6Exchange:
+    def test_branch_exchange_over_dead_definition(self):
+        # r1 not live at the side-exit target: exchange is legal, and the
+        # branch ends up above the increment reading the pre-update value
+        n, body = combine("r1i = r1i + 4\nbge (r1i 100) X\n")
+        assert n == 1
+        assert body[0].is_branch and str(body[0]) == "bge (r1i 96) X"
+        assert str(body[1]) == "r1i = r1i + 4"
+
+    def test_branch_not_exchanged_over_live_definition(self):
+        # r1 IS live at the branch target: hoisting the branch above the
+        # increment would let the exit path observe the stale value
+        n, body = combine("r1i = r1i + 4\nbge (r1i 100) X\n",
+                          protected={int_reg(1)})
+        assert n == 0
+        assert str(body[0]) == "r1i = r1i + 4"  # order untouched
+
+    def test_non_branch_exchange_unaffected_by_protected(self):
+        # protected only constrains control transfers: a load may still
+        # exchange (it stays on the fall-through path, every successor
+        # sees the increment's result afterwards)
+        n, body = combine("r1i = r1i + 4\nr2f = MEM(r1i+8)\n",
+                          protected={int_reg(1)})
+        assert n == 1
+        assert body[0].is_load and str(body[0]) == "r2f = MEM(r1i+12)"
+        assert str(body[1]) == "r1i = r1i + 4"
+
+    def test_non_adjacent_self_update_not_exchanged(self):
+        n, body = combine(
+            "r1i = r1i + 4\nr9f = r8f * r8f\nbge (r1i 100) X\n"
+        )
+        assert n == 0
+        assert str(body[2]) == "bge (r1i 100) X"

@@ -1,0 +1,77 @@
+"""Strength-reduced division/remainder vs. the executor's semantics.
+
+The 4-instruction div and 6-instruction rem sequences replace DIV/REM by
+powers of two, so they must reproduce ``repro.sim.executor._idiv`` /
+``_irem`` exactly — truncating *toward zero*, where a plain arithmetic
+shift would floor.  Negative dividends are where the two disagree, hence
+the bias instructions and these regressions.
+"""
+
+import pytest
+
+from repro.ir import Function, Op, parse_instr, verify_function
+from repro.machine import unlimited
+from repro.sim import Memory, simulate
+from repro.sim.executor import _idiv, _irem
+from repro.transforms.strength import SIGN_SMEAR_SHIFT, reduce_strength
+
+DIVIDENDS = sorted(
+    set(range(-20, 21))
+    | {v * s for v in (31, 32, 33, 63, 64, 65, 1023, 1024, 1025, 2**31 - 1)
+       for s in (1, -1)}
+)
+
+
+def reduce_and_run(text: str, r2: int):
+    f = Function("t")
+    blk = f.add_block("A")
+    for line in text.strip().splitlines():
+        blk.append(parse_instr(line.strip()))
+    f.reindex_regs()
+    reduce_strength(f, blk.instrs)
+    body = list(blk.instrs)
+    blk.append(parse_instr("halt"))
+    verify_function(f)
+    res = simulate(f, unlimited(), Memory(), iregs={2: r2})
+    return res.iregs, body
+
+
+class TestRoundTowardZero:
+    @pytest.mark.parametrize("k", [2, 4, 8, 64, 1024])
+    def test_div_matches_idiv(self, k):
+        for v in DIVIDENDS:
+            regs, body = reduce_and_run(f"r1i = r2i / {k}", v)
+            assert regs[1] == _idiv(v, k), (v, k)
+
+    @pytest.mark.parametrize("k", [2, 4, 8, 64, 1024])
+    def test_rem_matches_irem(self, k):
+        for v in DIVIDENDS:
+            regs, body = reduce_and_run(f"r3i = r2i % {k}", v)
+            assert regs[3] == _irem(v, k), (v, k)
+
+    def test_negative_dividend_differs_from_floor(self):
+        # the whole point of the bias: -7 >> 2 floors to -2, but the
+        # FORTRAN/C semantics the executor implements truncate to -1
+        regs, _ = reduce_and_run("r1i = r2i / 4", -7)
+        assert regs[1] == -1 == _idiv(-7, 4)
+        assert (-7 >> 2) == -2  # what an unbiased shift would give
+
+
+class TestSequenceShape:
+    def test_div_is_four_instructions(self):
+        _, body = reduce_and_run("r1i = r2i / 8", -9)
+        assert len(body) == 4
+        assert [i.op for i in body] == [Op.SHRA, Op.AND, Op.ADD, Op.SHRA]
+        assert body[0].srcs[1].value == SIGN_SMEAR_SHIFT
+
+    def test_rem_is_six_instructions(self):
+        _, body = reduce_and_run("r3i = r2i % 8", -9)
+        assert len(body) == 6
+        assert [i.op for i in body] == [
+            Op.SHRA, Op.AND, Op.ADD, Op.SHRA, Op.SHL, Op.SUB,
+        ]
+
+    def test_div_by_one_is_move(self):
+        regs, body = reduce_and_run("r1i = r2i / 1", -9)
+        assert [i.op for i in body] == [Op.MOV]
+        assert regs[1] == -9

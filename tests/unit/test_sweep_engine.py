@@ -120,6 +120,50 @@ class TestJournalResume:
         assert again.computed == 0
         assert again.reused == len(LEVELS) * len(WIDTHS)
 
+    def test_torn_final_line_skipped_and_reported(self, serial_sweep, tmp_path, capsys):
+        """A final record torn mid-write — even mid-multibyte-character,
+        leaving invalid UTF-8 — is skipped, reported, and recomputed."""
+        journal = tmp_path / "j.jsonl"
+        wls = [get_workload(n) for n in WORKLOADS]
+        first = run_sweep(wls, LEVELS, WIDTHS, journal=journal)
+
+        raw = journal.read_bytes()
+        journal.write_bytes(raw[:-20] + b"\xff")  # torn + undecodable tail
+
+        skips = []
+        loaded = read_journal(journal, seed=0, check=True,
+                              on_skip=lambda lineno, line: skips.append(lineno))
+        assert len(loaded) == first.computed - 1
+        assert len(skips) == 1
+
+        resumed = run_sweep(wls, LEVELS, WIDTHS, journal=journal)
+        assert resumed.journal_skipped == 1
+        assert resumed.computed == 1  # only the torn configuration
+        assert resumed.reused == first.computed - 1
+        assert "skipped 1 corrupt line" in capsys.readouterr().err
+        for k in serial_sweep.results:
+            assert _key_fields(resumed.results[k]) == _key_fields(serial_sweep.results[k])
+
+        # appending after a torn tail must newline-terminate it first, or
+        # the new record would concatenate onto the torn bytes: a third
+        # resume sees every appended record and recomputes nothing
+        third = run_sweep(wls, LEVELS, WIDTHS, journal=journal)
+        assert third.journal_skipped == 1  # the torn line itself remains
+        assert third.computed == 0
+        assert third.reused == first.computed
+
+    def test_corrupt_middle_line_recomputed(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        wls = [get_workload("add")]
+        run_sweep(wls, LEVELS, WIDTHS, journal=journal)
+        lines = journal.read_bytes().splitlines(keepends=True)
+        lines[2] = b'{"workload": \xfe garbage\n'
+        journal.write_bytes(b"".join(lines))
+        again = run_sweep(wls, LEVELS, WIDTHS, journal=journal)
+        assert again.journal_skipped == 1
+        assert again.computed == 1
+        assert again.reused == len(LEVELS) * len(WIDTHS) - 1
+
     def test_mismatched_header_rejected(self, tmp_path):
         journal = tmp_path / "j.jsonl"
         run_sweep([get_workload("add")], LEVELS, WIDTHS, seed=0, journal=journal)

@@ -1,0 +1,144 @@
+"""Preconditioning boundary regressions for loop unrolling.
+
+The preconditioned main loop runs with its intermediate backedge tests
+removed, so the setup arithmetic must compute the *exact* do-while trip
+count — ceil(span/step) — for every combination of step, span, and
+factor.  These tests pin the boundaries: non-unit steps with inexact
+spans (the floor-vs-ceil miscompile), runtime trip counts below the
+factor, exact multiples, statically-known spans, and non-positive spans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.loopvars import CountedLoop
+from repro.ir import Imm, Op, int_reg, parse_function, verify_function
+from repro.ir.loop import find_loops
+from repro.machine import unlimited
+from repro.sim import Memory, simulate
+from repro.transforms.unroll import unroll_counted
+
+LOOP_SRC = """
+function t:
+entry:
+  r1i = 0
+L:
+  r2f = MEM(A+r1i)
+  r3f = r2f * r4f
+  MEM(B+r1i) = r3f
+  r1i = r1i + 4
+  blt (r1i r5i) L
+exit:
+  halt
+"""
+
+
+def make_loop(src=LOOP_SRC, step=4, limit=int_reg(5)):
+    f = parse_function(src)
+    blk = f.get_block("L")
+    counted = CountedLoop("L", int_reg(1), step, limit, blk.instrs[-1],
+                          blk.instrs[-2])
+    loop = next(l for l in find_loops(f) if l.header == "L")
+    return f, loop, counted
+
+
+def run_scale(f, n, limit=None):
+    """Simulate the scale-by-3 loop over n elements; returns (got, want)."""
+    mem = Memory()
+    a = np.arange(1.0, n + 1)
+    mem.bind_array("A", a)
+    mem.bind_array("B", np.zeros(n))
+    iregs = {1: 0}
+    if limit is not None:
+        iregs[5] = limit
+    simulate(f, unlimited(), mem, iregs=iregs, fregs={4: 3.0})
+    return mem.read_array("B", (n,)), a * 3.0
+
+
+class TestDynamicPreconditioning:
+    @pytest.mark.parametrize("factor", [2, 3, 4, 8])
+    @pytest.mark.parametrize("trips", [1, 2, 3, 4, 5, 7, 8, 9, 16, 21])
+    def test_nonunit_step_inexact_span(self, factor, trips):
+        # limit = 4*trips - 2 is NOT a multiple of step 4: the do-while
+        # trip count is ceil(span/step) = trips, and a truncating divide
+        # here once undercounted it, leaving the test-free main loop to
+        # overrun the arrays
+        f, loop, counted = make_loop()
+        unroll_counted(f, loop, counted, factor)
+        verify_function(f)
+        got, want = run_scale(f, trips, limit=4 * trips - 2)
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("trips", [1, 2, 3, 4, 5, 8, 12, 24])
+    def test_exact_multiple_span(self, trips):
+        f, loop, counted = make_loop()
+        unroll_counted(f, loop, counted, 4)
+        got, want = run_scale(f, trips, limit=4 * trips)
+        assert np.array_equal(got, want)
+
+    def test_trip_count_below_factor(self):
+        # 3 runtime iterations under factor 8: everything happens in the
+        # precondition loop and the guard must skip the main loop entirely
+        f, loop, counted = make_loop()
+        unroll_counted(f, loop, counted, 8)
+        got, want = run_scale(f, 3, limit=12)
+        assert np.array_equal(got, want)
+
+    def test_unit_step_emits_no_bias(self):
+        # step == 1 divides exactly: the ceil bias must not be emitted, so
+        # unit-step loops keep their existing setup code (and schedules)
+        src = LOOP_SRC.replace("r1i = r1i + 4", "r1i = r1i + 1")
+        f, loop, counted = make_loop(src, step=1)
+        unroll_counted(f, loop, counted, 4)
+        setup = next(b for b in f.blocks if ".setup" in b.label)
+        assert [i.op for i in setup.instrs] == [
+            Op.SUB, Op.DIV, Op.REM, Op.MUL, Op.ADD, Op.BEQ,
+        ]
+
+    def test_nonunit_step_emits_ceil_bias(self):
+        f, loop, counted = make_loop()
+        unroll_counted(f, loop, counted, 4)
+        setup = next(b for b in f.blocks if ".setup" in b.label)
+        assert [i.op for i in setup.instrs] == [
+            Op.SUB, Op.ADD, Op.DIV, Op.REM, Op.MUL, Op.ADD, Op.BEQ,
+        ]
+
+
+class TestStaticPreconditioning:
+    def _static(self, limit_imm: int, step=4):
+        src = LOOP_SRC.replace("blt (r1i r5i) L", f"blt (r1i {limit_imm}) L")
+        return make_loop(src, step=step, limit=Imm(limit_imm))
+
+    def test_inexact_span_resolves_statically(self):
+        # span 90 with step 4: 23 trips (ceil), known at compile time, so
+        # no runtime div/rem arithmetic may appear
+        f, loop, counted = self._static(90)
+        unroll_counted(f, loop, counted, 4)
+        ops = [ins.op for ins in f.iter_instrs()]
+        assert Op.DIV not in ops and Op.REM not in ops
+        got, want = run_scale(f, 23)
+        assert np.array_equal(got, want)
+
+    def test_exact_span_no_remainder_loop(self):
+        f, loop, counted = self._static(96)  # 24 trips, factor 4
+        unroll_counted(f, loop, counted, 4)
+        assert not any(".pre" in b.label for b in f.blocks)
+        got, want = run_scale(f, 24)
+        assert np.array_equal(got, want)
+
+    def test_static_trip_below_factor_clamps(self):
+        f, loop, counted = self._static(12)  # 3 trips < factor 8
+        c2 = unroll_counted(f, loop, counted, 8)
+        assert c2.trip_multiple == 3  # clamped to the whole trip count
+        got, want = run_scale(f, 3)
+        assert np.array_equal(got, want)
+
+    def test_nonpositive_span_left_alone(self):
+        # limit 0 with iv0 = 0: the do-while body still executes once;
+        # unrolling must refuse rather than emit a main loop for it
+        f, loop, counted = self._static(0)
+        before = len(f.blocks)
+        c2 = unroll_counted(f, loop, counted, 4)
+        assert c2 is counted and len(f.blocks) == before
+        got, _ = run_scale(f, 1)
+        assert got[0] == 3.0  # one iteration ran
