@@ -32,7 +32,7 @@ def bounds_for(name, level):
     b = compute_bounds(
         ck.sb.body.instrs,
         issue8(),
-        iterations=ck.ilp_report.unroll_factor,
+        iterations=ck.report.unroll_factor,
         prologue=ck.sb.preheader.instrs,
         doall=(w.loop_type == "doall"),
     )

@@ -64,6 +64,14 @@ def test_sweep_engine_speedup():
                           r.fp_regs), k
 
     speedup = t_old / t_new
+    # per-pass compile-time attribution over the grid (the pass manager
+    # records wall time for every pass execution) — tracked so a pass
+    # that regresses in cost shows up in the bench trajectory
+    pass_seconds = {
+        name: round(s, 4)
+        for name, s in sorted(new.pass_seconds().items(),
+                              key=lambda kv: kv[1], reverse=True)
+    }
     payload = {
         "grid": {
             "workloads": [w.name for w in wls],
@@ -75,6 +83,7 @@ def test_sweep_engine_speedup():
         "new_engine_s": round(t_new, 3),
         "speedup": round(speedup, 2),
         "identical_results": True,
+        "pass_seconds": pass_seconds,
     }
     out = default_cache_path().parent / "BENCH_sweep.json"
     out.parent.mkdir(parents=True, exist_ok=True)

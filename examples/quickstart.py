@@ -53,7 +53,7 @@ def main() -> None:
             ck, arrays={"A": A.copy(), "B": B.copy(), "C": np.zeros(N)}
         )
         assert np.array_equal(out.arrays["C"], A + B), "wrong result!"
-        rep = ck.ilp_report
+        rep = ck.report
         notes = []
         if rep.unroll_factor > 1:
             notes.append(f"unroll x{rep.unroll_factor}")

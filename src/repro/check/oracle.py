@@ -176,7 +176,7 @@ def check_workload(
             continue
         # accumulator expansion and tree height reduction reassociate fp
         # reductions by design; only they may relax bit-identity
-        exact = tk.ilp_report.accumulators == 0 and tk.ilp_report.trees == 0
+        exact = tk.report.accumulators == 0 and tk.report.trees == 0
         for i, width in enumerate(widths):
             machine = MachineConfig(issue_width=width)
             try:

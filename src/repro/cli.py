@@ -2,17 +2,22 @@
 
     python -m repro list                         # the 40 workloads
     python -m repro show dotprod                 # FORTRAN-style source + metadata
+    python -m repro passes                       # the registered pass pipeline
     python -m repro compile dotprod --level 4    # IR at each pipeline stage
     python -m repro run dotprod --level 4 --width 8 [--all-levels]
     python -m repro sweep [--force] [--jobs N]   # full grid -> results/
     python -m repro sweep --workloads add,sum --jobs 2   # subset smoke run
+    python -m repro ablate                       # leave-one-out pass ablation
     python -m repro mii dotprod                  # software-pipelining bounds
     python -m repro check                        # differential oracle, all 40
     python -m repro check --fuzz 50              # + seeded random loop nests
 
 ``--check`` on compile/run/sweep runs the IR invariant verifier between
 every compiler pass (def-before-use on all paths, operand classes and
-arity, branch-target validity, coloring consistency).
+arity, branch-target validity, coloring consistency).  ``--disable-pass
+NAME`` skips a registered pass (repeatable; structural passes refuse),
+``--print-after NAME`` dumps the IR after it runs, and
+``--print-changed`` dumps after every pass that rewrote something.
 """
 
 from __future__ import annotations
@@ -29,10 +34,22 @@ from .harness import compile_kernel, run_compiled_kernel
 from .ir import format_block, format_function
 from .machine import MachineConfig
 from .opt.driver import run_conv
+from .passes import PassOptions
 from .pipeline import Level
 from .regalloc import measure_register_usage
 from .schedule.pipelining import compute_bounds
 from .workloads import all_workloads, check_run, get_workload
+
+
+def _pass_options(args) -> PassOptions | None:
+    """PassOptions from the pipeline-control flags (None = defaults)."""
+    disable = tuple(getattr(args, "disable_pass", None) or ())
+    print_after = tuple(getattr(args, "print_after", None) or ())
+    print_changed = bool(getattr(args, "print_changed", False))
+    if not disable and not print_after and not print_changed:
+        return None
+    return PassOptions(disable=disable, print_after=print_after,
+                       print_changed=print_changed)
 
 
 def cmd_list(args) -> int:
@@ -59,12 +76,13 @@ def cmd_compile(args) -> int:
     w = get_workload(args.workload)
     level = Level(args.level)
     machine = MachineConfig(issue_width=args.width)
+    options = _pass_options(args)
 
     lk = lower_kernel(w.build())
     if args.stage in ("naive", "all"):
         print("=== naive lowering ===")
         print(format_function(lk.func))
-    run_conv(lk.func, lk.counted, lk.live_out_exit)
+    rep = run_conv(lk.func, lk.counted, lk.live_out_exit, options=options)
     if args.stage in ("conv", "all"):
         print("\n=== after Conv ===")
         print(format_function(lk.func))
@@ -72,10 +90,11 @@ def cmd_compile(args) -> int:
 
     sb, rep = apply_ilp_transforms(
         lk.func, lk.counted[lk.inner_header], level, machine, lk.live_out_exit,
-        check=args.check,
+        check=args.check, options=options, report=rep,
     )
     schedule_function(lk.func, machine, lk.live_out_exit, sb=sb,
-                      doall=lk.inner_kind == "doall", check=args.check)
+                      doall=lk.inner_kind == "doall", check=args.check,
+                      options=options, report=rep)
     print(f"\n=== {level.label} on issue-{args.width or 'inf'}: "
           f"unroll x{rep.unroll_factor}, {rep.renamed} renamed, "
           f"{rep.inductions} ind, {rep.accumulators} acc, "
@@ -84,18 +103,48 @@ def cmd_compile(args) -> int:
     print(format_block(sb.body))
     usage = measure_register_usage(lk.func, lk.live_out_exit)
     print(f"\nregisters: {usage.int_regs} int + {usage.fp_regs} fp = {usage.total}")
+    if args.stats:
+        print("\nper-pass stats (pass, phase, round, rewrites, instr delta, ms):")
+        for s in rep.stats:
+            print(f"  {s.name:<22}{s.phase:<10}{s.round:>3}{s.rewrites:>6}"
+                  f"{s.instr_delta:>+7}{s.seconds * 1e3:>9.2f}")
     return 0
+
+
+def cmd_passes(args) -> int:
+    """List the registered pass pipeline (the unit of --disable-pass)."""
+    from .passes.registry import DEFAULT_PHASES, PHASE_ORDER
+
+    print(f"{'pass':<24}{'phase':<10}{'gate':<8}{'ablatable':<11}description")
+    for phase_name in PHASE_ORDER:
+        phase = DEFAULT_PHASES[phase_name]
+        rounds = (f"fixpoint, <={phase.max_rounds} rounds"
+                  if phase.max_rounds > 1 else "single round")
+        print(f"-- {phase_name} ({rounds}) " + "-" * 40)
+        for p in phase.passes:
+            ablatable = "no" if p.required else "yes"
+            print(f"{p.name:<24}{p.phase:<10}{p.gate_label:<8}"
+                  f"{ablatable:<11}{p.doc}")
+    return 0
+
+
+def cmd_ablate(args) -> int:
+    """Leave-one-out pass ablation (see repro.experiments.ablation)."""
+    from .experiments.ablation import main as ablation_main
+
+    return ablation_main(args.rest)
 
 
 def cmd_run(args) -> int:
     w = get_workload(args.workload)
     machine = MachineConfig(issue_width=args.width)
+    options = _pass_options(args)
     levels = list(Level) if args.all_levels else [Level(args.level)]
     base = run_config(w, Level.CONV, MachineConfig(issue_width=1),
-                      check_ir=args.check).cycles
+                      check_ir=args.check, options=options).cycles
     print(f"{w.name} (type={w.loop_type}); baseline issue-1/Conv = {base} cycles")
     for level in levels:
-        r = run_config(w, level, machine, check_ir=args.check)
+        r = run_config(w, level, machine, check_ir=args.check, options=options)
         print(f"  {level.label}@issue-{args.width}: {r.cycles} cycles, "
               f"{r.instructions} instrs, speedup {base / r.cycles:.2f}, "
               f"{r.total_regs} regs  [checked]")
@@ -103,6 +152,7 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    options = _pass_options(args)
     if args.workloads:
         # subset sweep (smoke tests / CI): no figure rendering, prints a
         # per-configuration summary instead
@@ -113,7 +163,8 @@ def cmd_sweep(args) -> int:
         wls = [get_workload(n) for n in args.workloads.split(",")]
         journal = Path(args.journal) if args.journal else None
         data = run_sweep(wls, verbose=True, jobs=args.jobs, journal=journal,
-                         resume=not args.force, check_ir=args.check)
+                         resume=not args.force, check_ir=args.check,
+                         options=options)
         for (name, level, width), r in data.results.items():
             print(f"{name:<14}{Level(level).label:<6}issue-{width}: "
                   f"{r.cycles} cycles, {r.instructions} instrs, "
@@ -129,6 +180,8 @@ def cmd_sweep(args) -> int:
         argv.append("--force")
     if args.check:
         argv.append("--check")
+    for name in (args.disable_pass or ()):
+        argv.extend(["--disable-pass", name])
     return run_all_main(argv)
 
 
@@ -179,7 +232,7 @@ def cmd_mii(args) -> int:
         ck = compile_kernel(w.build(), level, machine)
         b = compute_bounds(
             ck.sb.body.instrs, machine,
-            iterations=ck.ilp_report.unroll_factor,
+            iterations=ck.report.unroll_factor,
             prologue=ck.sb.preheader.instrs,
             doall=w.loop_type == "doall",
         )
@@ -201,6 +254,23 @@ def main(argv=None) -> int:
 
     check_help = ("run the IR invariant verifier between every compiler pass")
 
+    def add_pipeline_flags(p):
+        p.add_argument("--disable-pass", action="append", default=[],
+                       metavar="NAME",
+                       help="skip a registered pass (repeatable; see "
+                            "`python -m repro passes`)")
+        p.add_argument("--print-after", action="append", default=[],
+                       metavar="NAME",
+                       help="dump the IR after the named pass runs "
+                            "(repeatable)")
+        p.add_argument("--print-changed", action="store_true",
+                       help="dump the IR after every pass that rewrote "
+                            "something")
+
+    sub.add_parser("passes",
+                   help="list the registered pass pipeline "
+                        "(phases, level gates, ablatability)")
+
     p = sub.add_parser("compile", help="print IR through the pipeline")
     p.add_argument("workload")
     p.add_argument("--level", type=int, default=4, choices=range(5))
@@ -208,6 +278,10 @@ def main(argv=None) -> int:
     p.add_argument("--stage", choices=("naive", "conv", "final", "all"),
                    default="final")
     p.add_argument("--check", action="store_true", help=check_help)
+    p.add_argument("--stats", action="store_true",
+                   help="print the per-pass stats table (rewrites, "
+                        "instruction delta, wall time)")
+    add_pipeline_flags(p)
 
     p = sub.add_parser("run", help="compile, simulate, and check a workload")
     p.add_argument("workload")
@@ -215,6 +289,7 @@ def main(argv=None) -> int:
     p.add_argument("--width", type=int, default=8)
     p.add_argument("--all-levels", action="store_true")
     p.add_argument("--check", action="store_true", help=check_help)
+    add_pipeline_flags(p)
 
     p = sub.add_parser("sweep", help="run the full evaluation grid")
     p.add_argument("--force", action="store_true")
@@ -227,6 +302,13 @@ def main(argv=None) -> int:
                    help="JSONL journal for a --workloads sweep (enables "
                         "resuming an interrupted run)")
     p.add_argument("--check", action="store_true", help=check_help)
+    add_pipeline_flags(p)
+
+    # remaining arguments are forwarded verbatim to
+    # repro.experiments.ablation (try `python -m repro ablate --help`)
+    sub.add_parser("ablate", add_help=False,
+                   help="leave-one-out pass ablation -> "
+                        "results/ablation.txt")
 
     p = sub.add_parser("mii", help="software-pipelining bounds per level")
     p.add_argument("workload")
@@ -251,11 +333,15 @@ def main(argv=None) -> int:
                    help="skip the between-pass invariant verifier")
     p.add_argument("--verbose", action="store_true")
 
-    args = ap.parse_args(argv)
+    args, extra = ap.parse_known_args(argv)
+    if args.cmd == "ablate":
+        args.rest = extra
+    elif extra:
+        ap.error(f"unrecognized arguments: {' '.join(extra)}")
     return {
-        "list": cmd_list, "show": cmd_show, "compile": cmd_compile,
-        "run": cmd_run, "sweep": cmd_sweep, "mii": cmd_mii,
-        "check": cmd_check,
+        "list": cmd_list, "show": cmd_show, "passes": cmd_passes,
+        "compile": cmd_compile, "run": cmd_run, "sweep": cmd_sweep,
+        "ablate": cmd_ablate, "mii": cmd_mii, "check": cmd_check,
     }[args.cmd](args)
 
 

@@ -83,17 +83,29 @@ def main(argv=None) -> int:
     ap.add_argument("--check", action="store_true",
                     help="run the IR invariant verifier between every "
                          "compiler pass of every configuration")
+    ap.add_argument("--disable-pass", action="append", default=[],
+                    metavar="NAME",
+                    help="skip a registered pass everywhere (repeatable; "
+                         "see `python -m repro passes`); the run bypasses "
+                         "the sweep cache")
     args = ap.parse_args(argv)
 
+    from ..passes import PassOptions
+
+    options = (PassOptions(disable=tuple(args.disable_pass))
+               if args.disable_pass else None)
     data = sweep_cached(force=args.force, verbose=not args.quiet,
-                        jobs=args.jobs, check_ir=args.check)
+                        jobs=args.jobs, check_ir=args.check, options=options)
     outdir = default_cache_path().parent
     outdir.mkdir(parents=True, exist_ok=True)
 
     texts = figure_texts(data)
     texts["per_loop"] = per_loop_report(data)
     for stem, text in texts.items():
-        (outdir / f"{stem}.txt").write_text(text + "\n")
+        if options is None:
+            # ablated runs print only: the canonical figure files always
+            # describe the full pipeline
+            (outdir / f"{stem}.txt").write_text(text + "\n")
         if not args.quiet:
             print()
             print(text)

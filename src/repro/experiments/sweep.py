@@ -46,13 +46,15 @@ from ..harness import (
     schedule_kernel,
 )
 from ..machine import MachineConfig
+from ..passes import PassOptions
 from ..pipeline import Level
 from ..regalloc import measure_register_usage
 from ..workloads import Workload, all_workloads, check_run, get_workload
 
 WIDTHS = (1, 2, 4, 8)
 #: 4 added per-phase timing fields and partial-grid journals; version-3
-#: files (no timings, always full-grid) still load.
+#: files (no timings, always full-grid) still load, as do version-4
+#: files from before the per-pass ``t_passes`` timing map was added.
 CACHE_VERSION = 4
 _COMPAT_VERSIONS = (3, CACHE_VERSION)
 
@@ -74,6 +76,10 @@ class ConfigResult:
     t_compile: float = 0.0
     t_schedule: float = 0.0
     t_simulate: float = 0.0
+    #: per-pass wall-clock seconds from the unified pipeline report, under
+    #: the same attribution rule as ``t_compile``: shared transform passes
+    #: are charged to the task's first width, scheduling to every width.
+    t_passes: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_regs(self) -> int:
@@ -105,32 +111,48 @@ class SweepData:
     def workload_names(self) -> list[str]:
         return sorted({k[0] for k in self.results}, key=str.lower)
 
+    def pass_seconds(self) -> dict[str, float]:
+        """Aggregate compile-time cost per registered pass over the grid
+        (the bench trajectory tracks these; see ``bench_sweep_perf``)."""
+        out: dict[str, float] = {}
+        for r in self.results.values():
+            for name, s in r.t_passes.items():
+                out[name] = out.get(name, 0.0) + s
+        return out
+
 
 # ---------------------------------------------------------------------------
 # per-process worker state
 # ---------------------------------------------------------------------------
 
 #: classical optimization is level- and machine-independent, so one
-#: ``ConvKernel`` per workload serves every task a worker process sees.
-#: The time it cost rides along and is charged to the first task that
-#: needs it (``_conv_cached`` pops the cost).
-_CONV_CACHE: dict[str, tuple[ConvKernel, float]] = {}
+#: ``ConvKernel`` per (workload, disabled-pass set) serves every task a
+#: worker process sees.  The time it cost rides along and is charged to
+#: the first task that needs it (``_conv_cached`` pops the cost).
+_CONV_CACHE: dict[tuple, tuple[ConvKernel, float]] = {}
 #: inputs are read-only (``check_run`` copies before mutating;
 #: ``Memory.bind_array`` copies into simulated memory), so one binding
 #: per (workload, seed) serves every configuration.
 _INPUT_CACHE: dict[tuple[str, int], tuple[dict, dict]] = {}
 
 
-def _conv_cached(w: Workload) -> tuple[ConvKernel, float]:
-    """Stage-1 result for a workload, plus the cost if paid just now."""
-    hit = _CONV_CACHE.get(w.name)
+def _conv_cached(
+    w: Workload, options: PassOptions | None = None
+) -> tuple[ConvKernel, float]:
+    """Stage-1 result for a workload, plus the cost if paid just now.
+
+    Keyed by the disabled-pass set: ablation runs that switch classical
+    passes off must not be served the fully-optimized cached result.
+    """
+    key = (w.name, options.key if options is not None else ())
+    hit = _CONV_CACHE.get(key)
     if hit is not None:
         conv, _ = hit
         return conv, 0.0
     t0 = time.perf_counter()
-    conv = lower_conv(w.build())
+    conv = lower_conv(w.build(), options=options)
     dt = time.perf_counter() - t0
-    _CONV_CACHE[w.name] = (conv, dt)
+    _CONV_CACHE[key] = (conv, dt)
     return conv, dt
 
 
@@ -144,7 +166,8 @@ def _inputs_cached(w: Workload, seed: int) -> tuple[dict, dict]:
 
 
 def _measure(w: Workload, ck, arrays: dict, scalars: dict, check: bool,
-             t_compile: float, t_sched: float) -> ConfigResult:
+             t_compile: float, t_sched: float,
+             t_passes: dict[str, float] | None = None) -> ConfigResult:
     usage = measure_register_usage(ck.func, ck.lowered.live_out_exit)
     t0 = time.perf_counter()
     run = run_compiled_kernel(ck, arrays=arrays, scalars=scalars)
@@ -155,7 +178,19 @@ def _measure(w: Workload, ck, arrays: dict, scalars: dict, check: bool,
         w.name, int(ck.level), ck.machine.issue_width, run.cycles,
         run.instructions, ck.inner_makespan, usage.int_regs, usage.fp_regs,
         check, t_compile=t_compile, t_schedule=t_sched, t_simulate=t_sim,
+        t_passes=t_passes if t_passes is not None else {},
     )
+
+
+def _charged_pass_seconds(ck, first_width: bool, conv_fresh: bool) -> dict[str, float]:
+    """Per-pass seconds under the t_compile attribution rule: transform
+    phases are charged to the task's first width (and the classical phase
+    only when this task actually paid it), scheduling to every width."""
+    if not first_width:
+        return ck.report.pass_seconds(phases=("schedule",))
+    if conv_fresh:
+        return ck.report.pass_seconds()
+    return ck.report.pass_seconds(phases=("ilp", "cleanup", "schedule"))
 
 
 def _run_task(task: tuple) -> list[ConfigResult]:
@@ -165,14 +200,14 @@ def _run_task(task: tuple) -> list[ConfigResult]:
     result; each width schedules and simulates its own clone of the
     transformed code.
     """
-    name, level_int, widths, seed, check, check_ir = task
+    name, level_int, widths, seed, check, check_ir, options = task
     w = get_workload(name)
     level = Level(level_int)
 
-    conv, t_conv = _conv_cached(w)
+    conv, t_conv = _conv_cached(w, options)
     t0 = time.perf_counter()
     tk = ilp_transform(conv.clone(), level, MachineConfig(issue_width=widths[0]),
-                       check=check_ir)
+                       check=check_ir, options=options)
     t_transform = t_conv + (time.perf_counter() - t0)
 
     arrays, scalars = _inputs_cached(w, seed)
@@ -182,10 +217,12 @@ def _run_task(task: tuple) -> list[ConfigResult]:
         t0 = time.perf_counter()
         # the last width may consume tk itself: nothing reads it afterwards
         clone = tk.clone() if i + 1 < len(widths) else tk
-        ck = schedule_kernel(clone, machine, check=check_ir)
+        ck = schedule_kernel(clone, machine, check=check_ir, options=options)
         t_sched = time.perf_counter() - t0
-        out.append(_measure(w, ck, arrays, scalars, check,
-                            t_transform, t_sched))
+        out.append(_measure(
+            w, ck, arrays, scalars, check, t_transform, t_sched,
+            _charged_pass_seconds(ck, i == 0, t_conv > 0),
+        ))
         t_transform = 0.0  # shared cost charged to the first width only
     return out
 
@@ -193,6 +230,7 @@ def _run_task(task: tuple) -> list[ConfigResult]:
 def run_config(
     w: Workload, level: Level, machine: MachineConfig, seed: int = 0,
     check: bool = True, check_ir: bool = False,
+    options: PassOptions | None = None,
 ) -> ConfigResult:
     """Compile, simulate, and check a single configuration.
 
@@ -200,17 +238,20 @@ def run_config(
     latencies / slot limits — the ablation benchmarks use those); the
     classical stage is still reused across calls per workload.
     ``check_ir=True`` additionally runs the between-pass invariant
-    verifier (the CLI ``--check`` flag).
+    verifier (the CLI ``--check`` flag); ``options`` carries
+    ``--disable-pass`` / ``--print-after`` pipeline controls.
     """
-    conv, t_conv = _conv_cached(w)
+    conv, t_conv = _conv_cached(w, options)
     t0 = time.perf_counter()
-    tk = ilp_transform(conv.clone(), level, machine, check=check_ir)
+    tk = ilp_transform(conv.clone(), level, machine, check=check_ir,
+                       options=options)
     t_compile = t_conv + (time.perf_counter() - t0)
     t0 = time.perf_counter()
-    ck = schedule_kernel(tk, machine, check=check_ir)
+    ck = schedule_kernel(tk, machine, check=check_ir, options=options)
     t_sched = time.perf_counter() - t0
     arrays, scalars = _inputs_cached(w, seed)
-    return _measure(w, ck, arrays, scalars, check, t_compile, t_sched)
+    return _measure(w, ck, arrays, scalars, check, t_compile, t_sched,
+                    _charged_pass_seconds(ck, True, t_conv > 0))
 
 
 # ---------------------------------------------------------------------------
@@ -218,14 +259,16 @@ def run_config(
 # ---------------------------------------------------------------------------
 
 
-def _journal_header(seed: int, check: bool, check_ir: bool = False) -> dict:
+def _journal_header(seed: int, check: bool, check_ir: bool = False,
+                    options: PassOptions | None = None) -> dict:
     return {"version": CACHE_VERSION, "seed": seed, "check": check,
-            "check_ir": check_ir}
+            "check_ir": check_ir,
+            "disable": list(options.key) if options is not None else []}
 
 
 def read_journal(
     path: Path, seed: int, check: bool, check_ir: bool = False,
-    on_skip=None,
+    on_skip=None, options: PassOptions | None = None,
 ) -> dict[tuple, ConfigResult]:
     """Finished configurations from an (possibly interrupted) journal.
 
@@ -246,7 +289,7 @@ def read_journal(
         header = json.loads(lines[0])
     except (UnicodeDecodeError, json.JSONDecodeError):
         return results
-    if header != _journal_header(seed, check, check_ir):
+    if header != _journal_header(seed, check, check_ir, options):
         return results
     for lineno, line in enumerate(lines[1:], start=2):
         try:
@@ -281,6 +324,7 @@ def run_sweep(
     journal: Path | None = None,
     resume: bool = True,
     check_ir: bool = False,
+    options: PassOptions | None = None,
 ) -> SweepData:
     """Run the evaluation grid.
 
@@ -290,7 +334,9 @@ def run_sweep(
     finished part and computes only the remainder.  Serial, parallel,
     resumed, and fresh sweeps all produce identical results.
     ``check_ir=True`` runs the invariant verifier between every compiler
-    pass of every configuration (the CLI ``--check`` flag).
+    pass of every configuration (the CLI ``--check`` flag); ``options``
+    carries ``--disable-pass`` pipeline controls (recorded in the journal
+    header, so a resumed sweep never mixes pipelines).
     """
     workloads = workloads or all_workloads()
     data = SweepData()
@@ -303,7 +349,8 @@ def run_sweep(
         }
         skipped: list[int] = []
         loaded = read_journal(journal, seed, check, check_ir,
-                              on_skip=lambda lineno, raw: skipped.append(lineno))
+                              on_skip=lambda lineno, raw: skipped.append(lineno),
+                              options=options)
         for key, r in loaded.items():
             if key in wanted:
                 data.results[key] = r
@@ -323,7 +370,8 @@ def run_sweep(
                 wd for wd in widths if (w.name, int(level), wd) not in data.results
             )
             if missing:
-                tasks.append((w.name, int(level), missing, seed, check, check_ir))
+                tasks.append((w.name, int(level), missing, seed, check,
+                              check_ir, options))
 
     jf = None
     if journal is not None and tasks:
@@ -333,7 +381,8 @@ def run_sweep(
                      and not journal.read_bytes().endswith(b"\n"))
         jf = journal.open("w" if fresh else "a")
         if fresh:
-            jf.write(json.dumps(_journal_header(seed, check, check_ir)) + "\n")
+            jf.write(json.dumps(_journal_header(seed, check, check_ir,
+                                                options)) + "\n")
             jf.flush()
         elif torn_tail:
             # terminate a torn final line so appended records stay parseable
@@ -424,19 +473,26 @@ def load_sweep(path: Path | None = None, require_complete: bool = True) -> Sweep
 
 
 def sweep_cached(force: bool = False, verbose: bool = False, jobs: int = 1,
-                 check_ir: bool = False) -> SweepData:
+                 check_ir: bool = False,
+                 options: PassOptions | None = None) -> SweepData:
     """Load the cached grid or compute and cache it.
 
     Computation journals to ``results/sweep.journal.jsonl``, so an
     interrupted sweep resumes where it stopped; the journal is removed
     once the full grid is saved.  ``check_ir=True`` forces a fresh sweep
     with the between-pass invariant verifier on (never satisfied from the
-    cache, which does not record verification).
+    cache, which does not record verification).  A run with disabled
+    passes (``options``) bypasses the cache entirely — loading and
+    saving — so ablations never poison the canonical grid.
     """
-    if not force and not check_ir:
+    ablated = options is not None and bool(options.key)
+    if not force and not check_ir and not ablated:
         cached = load_sweep()
         if cached is not None:
             return cached
+    if ablated:
+        return run_sweep(verbose=verbose, jobs=jobs, check_ir=check_ir,
+                         options=options)
     journal = default_journal_path()
     data = run_sweep(verbose=verbose, jobs=jobs, journal=journal,
                      resume=not force, check_ir=check_ir)

@@ -21,12 +21,18 @@ dependence on the configuration, so sweeps can share the early stages:
 
 Stages 2 and 3 mutate the function in place; reuse an earlier stage's
 result across several downstream calls by scheduling a ``.clone()`` of it.
+
+Each stage appends to one unified
+:class:`~repro.passes.stats.PipelineReport` (per-pass rewrites, wall
+time, instruction-count deltas); ``options`` takes a
+:class:`~repro.passes.manager.PassOptions` to disable registered passes
+or dump IR after them.
 """
 
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -35,8 +41,9 @@ from .frontend.lower import LoweredKernel, lower_kernel
 from .ir.block import Block
 from .ir.function import Function
 from .machine import MachineConfig
-from .opt.driver import ConvReport, run_conv
-from .pipeline import Level, TransformReport, apply_ilp_transforms, schedule_function
+from .opt.driver import run_conv
+from .passes import PassOptions, PipelineReport
+from .pipeline import Level, apply_ilp_transforms, schedule_function
 from .schedule.listsched import Schedule
 from .schedule.superblock import SuperblockLoop
 from .sim import Memory, simulate
@@ -49,8 +56,7 @@ class CompiledKernel:
     machine: MachineConfig
     sb: SuperblockLoop
     schedules: dict[str, Schedule]
-    conv_report: ConvReport
-    ilp_report: TransformReport
+    report: PipelineReport
 
     @property
     def func(self):
@@ -77,7 +83,7 @@ class ConvKernel:
     """Stage-1 result: lowered + classically optimized (level-independent)."""
 
     lowered: LoweredKernel
-    conv_report: ConvReport
+    report: PipelineReport
 
     def clone(self) -> "ConvKernel":
         return _clone_stage(self)
@@ -95,8 +101,7 @@ class TransformedKernel:
     lowered: LoweredKernel
     level: Level
     sb: SuperblockLoop
-    conv_report: ConvReport
-    ilp_report: TransformReport
+    report: PipelineReport
 
     def clone(self) -> "TransformedKernel":
         """Clone for scheduling: fresh function/blocks/instruction lists,
@@ -106,7 +111,8 @@ class TransformedKernel:
         objects are mutated exclusively by the ILP stage (superblock
         formation rewrites targets) — so structural sharing is safe here
         and far cheaper than a deep copy.  Do not feed a clone back into
-        :func:`ilp_transform`.
+        :func:`ilp_transform`.  The report is forked so each width's
+        schedule extends its own copy of the shared transform history.
         """
         lk = self.lowered
         f = lk.func
@@ -127,16 +133,15 @@ class TransformedKernel:
             None if sb.exit_block is None
             else bmap.get(id(sb.exit_block), sb.exit_block),
         )
-        return TransformedKernel(nlk, self.level, nsb,
-                                 self.conv_report, self.ilp_report)
+        return TransformedKernel(nlk, self.level, nsb, self.report.fork())
 
 
-def lower_conv(kernel: Kernel) -> ConvKernel:
+def lower_conv(kernel: Kernel, options: PassOptions | None = None) -> ConvKernel:
     """Stage 1: lower a kernel and run the classical (conventional)
     optimizations.  Depends only on the kernel itself."""
     lk = lower_kernel(kernel)
-    conv_rep = run_conv(lk.func, lk.counted, lk.live_out_exit)
-    return ConvKernel(lk, conv_rep)
+    report = run_conv(lk.func, lk.counted, lk.live_out_exit, options=options)
+    return ConvKernel(lk, report)
 
 
 def ilp_transform(
@@ -146,6 +151,7 @@ def ilp_transform(
     unroll_factor: int | None = None,
     thr_unit_latency: bool = False,
     check: bool = False,
+    options: PassOptions | None = None,
 ) -> TransformedKernel:
     """Stage 2: apply the paper's ILP transformations at ``level``.
 
@@ -155,7 +161,7 @@ def ilp_transform(
     """
     lk = conv.lowered
     counted = lk.counted[lk.inner_header]
-    sb, ilp_rep = apply_ilp_transforms(
+    sb, report = apply_ilp_transforms(
         lk.func,
         counted,
         level,
@@ -164,12 +170,15 @@ def ilp_transform(
         unroll_factor,
         thr_unit_latency=thr_unit_latency,
         check=check,
+        options=options,
+        report=conv.report,
     )
-    return TransformedKernel(lk, level, sb, conv.conv_report, ilp_rep)
+    return TransformedKernel(lk, level, sb, report)
 
 
 def schedule_kernel(
-    tk: TransformedKernel, machine: MachineConfig, check: bool = False
+    tk: TransformedKernel, machine: MachineConfig, check: bool = False,
+    options: PassOptions | None = None,
 ) -> CompiledKernel:
     """Stage 3: list-schedule a transformed kernel for a concrete machine.
 
@@ -179,16 +188,16 @@ def schedule_kernel(
     """
     lk = tk.lowered
     doall = lk.inner_kind == "doall"
+    report = tk.report.fork()
     schedules = schedule_function(
-        lk.func, machine, lk.live_out_exit, sb=tk.sb, doall=doall, check=check
+        lk.func, machine, lk.live_out_exit, sb=tk.sb, doall=doall,
+        check=check, options=options, report=report,
     )
     if check:
         from .regalloc import measure_register_usage
 
         measure_register_usage(lk.func, lk.live_out_exit, check=True)
-    return CompiledKernel(
-        lk, tk.level, machine, tk.sb, schedules, tk.conv_report, tk.ilp_report
-    )
+    return CompiledKernel(lk, tk.level, machine, tk.sb, schedules, report)
 
 
 def compile_kernel(
@@ -198,17 +207,19 @@ def compile_kernel(
     unroll_factor: int | None = None,
     thr_unit_latency: bool = False,
     check: bool = False,
+    options: PassOptions | None = None,
 ) -> CompiledKernel:
     """Lower, classically optimize, ILP-transform, and schedule a kernel.
 
     ``check=True`` turns on the between-pass invariant verifier for every
-    stage (the CLI ``--check`` flag).
+    stage (the CLI ``--check`` flag); ``options`` carries pass disabling
+    and IR printing controls (``--disable-pass``, ``--print-after``).
     """
     tk = ilp_transform(
-        lower_conv(kernel), level, machine, unroll_factor,
-        thr_unit_latency=thr_unit_latency, check=check,
+        lower_conv(kernel, options=options), level, machine, unroll_factor,
+        thr_unit_latency=thr_unit_latency, check=check, options=options,
     )
-    return schedule_kernel(tk, machine, check=check)
+    return schedule_kernel(tk, machine, check=check, options=options)
 
 
 @dataclass

@@ -4,7 +4,7 @@ from .constprop import propagate_constants
 from .copyprop import propagate_copies_global, propagate_copies_local
 from .cse import eliminate_common_subexpressions
 from .dce import eliminate_dead_code, remove_nops
-from .driver import ConvReport, run_conv
+from .driver import run_conv
 from .ivsr import strength_reduce_ivs
 from .licm import hoist_loop_invariants
 from .redundant_mem import eliminate_redundant_memory
@@ -14,7 +14,7 @@ __all__ = [
     "propagate_copies_global", "propagate_copies_local",
     "eliminate_common_subexpressions",
     "eliminate_dead_code", "remove_nops",
-    "ConvReport", "run_conv",
+    "run_conv",
     "strength_reduce_ivs",
     "hoist_loop_invariants",
     "eliminate_redundant_memory",

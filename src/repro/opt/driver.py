@@ -12,35 +12,19 @@ Runs the paper's conventional-optimizer baseline to fixpoint:
 
 Every transformation level of the evaluation (Conv, Lev1..Lev4) starts
 from the output of this pipeline.
+
+The fixpoint itself is owned by the unified pass manager
+(:mod:`repro.passes`): this module is the thin entry point that binds a
+function into a :class:`~repro.passes.manager.PipelineContext` and runs
+the registered ``conv`` phase.  Pass ordering and per-round protected-set
+recomputation live in :mod:`repro.passes.registry`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from ..analysis.loopvars import CountedLoop
-from ..ir.function import Function, remove_unreachable
+from ..ir.function import Function
 from ..ir.operands import Reg
-from ..ir.verify import verify_function
-from .constprop import propagate_constants
-from .copyprop import coalesce_moves, propagate_copies_global, propagate_copies_local
-from .cse import eliminate_common_subexpressions
-from .dce import eliminate_dead_code
-from .ivsr import strength_reduce_ivs
-from .licm import hoist_loop_invariants
-from .redundant_mem import eliminate_redundant_memory
-
-
-@dataclass
-class ConvReport:
-    constants: int = 0
-    copies: int = 0
-    cse: int = 0
-    dead: int = 0
-    hoisted: int = 0
-    derived_ivs: int = 0
-    redundant_mem: int = 0
-    rounds: int = 0
 
 
 def run_conv(
@@ -49,45 +33,30 @@ def run_conv(
     live_out_exit: set[Reg] | None = None,
     max_rounds: int = 10,
     verify: bool = True,
-) -> ConvReport:
+    options=None,
+    report=None,
+):
     """Apply the classical pipeline to fixpoint (bounded rounds).
 
     ``counted`` maps inner-loop headers to their metadata; induction
     variable elimination updates entries in place when it retargets a loop
     test.  ``live_out_exit`` lists registers the caller reads after the
-    run (workload outputs) so DCE keeps them.
+    run (workload outputs) so DCE keeps them.  ``options`` takes a
+    :class:`~repro.passes.manager.PassOptions` (pass disabling / IR
+    printing); ``report`` an existing
+    :class:`~repro.passes.stats.PipelineReport` to extend.
+
+    Returns the :class:`~repro.passes.stats.PipelineReport` with one
+    :class:`~repro.passes.stats.PassStats` row per pass execution.
     """
-    live_out_exit = live_out_exit or set()
-    rep = ConvReport()
-    protected = {id(c.increment) for c in (counted or {}).values()}
-    for _ in range(max_rounds):
-        changed = 0
-        protected = {id(c.increment) for c in (counted or {}).values()}
-        changed += _tick(rep, "constants", propagate_constants(func))
-        # coalescing must precede copy propagation: a multi-update reduction
-        # lowers as `t = s + x; s = t` chains that copy propagation would
-        # rewire through the temps, hiding the self-update shape from
-        # accumulator expansion
-        changed += _tick(rep, "copies", coalesce_moves(func))
-        changed += _tick(rep, "copies", propagate_copies_local(func))
-        changed += _tick(rep, "copies", propagate_copies_global(func))
-        changed += _tick(rep, "cse", eliminate_common_subexpressions(func, protected))
-        changed += _tick(rep, "redundant_mem", eliminate_redundant_memory(func))
-        changed += _tick(rep, "hoisted", hoist_loop_invariants(func, live_out_exit))
-        changed += _tick(
-            rep, "derived_ivs", strength_reduce_ivs(func, counted, live_out_exit)
-        )
-        changed += _tick(rep, "dead", eliminate_dead_code(func, live_out_exit))
-        rep.rounds += 1
-        if changed == 0:
-            break
-    remove_unreachable(func)
-    func.reindex_regs()
-    if verify:
-        verify_function(func)
-    return rep
+    from ..passes import PassManager, PipelineContext, PipelineReport
 
-
-def _tick(rep: ConvReport, attr: str, n: int) -> int:
-    setattr(rep, attr, getattr(rep, attr) + n)
-    return n
+    ctx = PipelineContext(
+        func=func,
+        report=report if report is not None else PipelineReport(),
+        live_out_exit=live_out_exit or set(),
+        counted_map=counted,
+        verify_final=verify,
+    )
+    PassManager(options).run_phase("conv", ctx, max_rounds=max_rounds)
+    return ctx.report

@@ -11,35 +11,27 @@ Lev4     + accumulator, induction, and search variable expansion
 =======  ==========================================================
 
 ``apply_ilp_transforms`` rewrites one inner loop; ``schedule_function``
-then list-schedules every block under the machine model.  The pass order
-within a level follows the dependences between the transformations:
-search expansion precedes renaming (it matches original names), the
-other expansions run on renamed code, and the arithmetic transformations
-run last so they see the expanded dependence structure.
+then list-schedules every block under the machine model.  Both are thin
+entry points over the unified pass manager (:mod:`repro.passes`): the
+level gates, the pass order within a level (search expansion precedes
+renaming because it matches original names; the other expansions run on
+renamed code; the arithmetic transformations run last so they see the
+expanded dependence structure), and the bounded cleanup fixpoint are all
+declared in :mod:`repro.passes.registry`.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 from .analysis.liveness import liveness
 from .analysis.loopvars import CountedLoop
 from .ir.function import Function
 from .ir.loop import find_loops
 from .ir.operands import Reg
-from .ir.verify import verify_function, verify_pipeline
 from .machine import MachineConfig
-from .schedule.listsched import Schedule, list_schedule
-from .schedule.superblock import SuperblockLoop, form_superblock
-from .transforms.accumulate import expand_accumulators
-from .transforms.combine import combine_operations
-from .transforms.induction import expand_inductions
-from .transforms.rename import rename_superblock
-from .transforms.search import expand_search_variables
-from .transforms.strength import reduce_strength
-from .transforms.treeheight import reduce_tree_height
-from .transforms.unroll import choose_unroll_factor, unroll_counted
+from .schedule.listsched import Schedule
+from .schedule.superblock import SuperblockLoop
 
 
 class Level(enum.IntEnum):
@@ -57,20 +49,6 @@ class Level(enum.IntEnum):
 
 
 ALL_LEVELS = list(Level)
-
-
-@dataclass
-class TransformReport:
-    """What fired while transforming one loop (for tests/diagnostics)."""
-
-    unroll_factor: int = 1
-    renamed: int = 0
-    inductions: int = 0
-    accumulators: int = 0
-    searches: int = 0
-    combined: int = 0
-    reduced: int = 0
-    trees: int = 0
 
 
 def _find_loop(func: Function, header: str):
@@ -104,98 +82,39 @@ def apply_ilp_transforms(
     unroll_factor: int | None = None,
     thr_unit_latency: bool = False,
     check: bool = False,
-) -> tuple[SuperblockLoop, TransformReport]:
+    options=None,
+    report=None,
+):
     """Transform the inner loop described by ``counted`` at ``level``.
 
-    Returns the superblock descriptor and a report of what fired.  The
-    function is verified after transformation; with ``check=True`` the
-    full invariant verifier (:func:`repro.ir.verify.verify_pipeline`)
-    additionally runs *between every pass*, so the first pass to break an
-    invariant is named in the failure.
+    Runs the registered ``ilp`` and ``cleanup`` phases of the pass
+    manager.  Returns ``(superblock, report)`` — the superblock
+    descriptor plus the unified
+    :class:`~repro.passes.stats.PipelineReport` of what fired (pass an
+    existing ``report`` to extend it across stages).  The function is
+    verified after transformation; with ``check=True`` the full invariant
+    verifier (:func:`repro.ir.verify.verify_pipeline`) additionally runs
+    *between every pass*, so the first pass to break an invariant is
+    named in the failure.  ``options`` takes a
+    :class:`~repro.passes.manager.PassOptions` for pass disabling and
+    ``--print-after`` IR dumps.
     """
-    live_out_exit = live_out_exit or set()
-    report = TransformReport()
+    from .passes import PassManager, PipelineContext, PipelineReport
 
-    def _checkpoint(stage: str) -> None:
-        if check:
-            verify_pipeline(func, set(func.pinned_regs), stage=stage)
-
-    _checkpoint("input")
-    if level >= Level.LEV1:
-        loop = _find_loop(func, counted.header)
-        size = sum(len(func.get_block(lab).instrs) for lab in loop.blocks)
-        factor = unroll_factor if unroll_factor is not None else choose_unroll_factor(size)
-        counted = unroll_counted(func, loop, counted, factor)
-        report.unroll_factor = factor
-        _checkpoint("unroll")
-
-    loop = _find_loop(func, counted.header)
-    sb = form_superblock(func, loop, counted)
-    _checkpoint("superblock formation")
-
-    # Profitability: the expansion transformations pay compensation code on
-    # every side exit taken (and re-initialization on every rejoin).  With
-    # profile information a production compiler applies them only when the
-    # off-trace paths are cold; we use the branch probabilities the same
-    # way.  Loops without side exits (33 of the 40) are unaffected.
-    exit_probs = [
-        sb.body.instrs[q].prob if sb.body.instrs[q].prob is not None else 0.5
-        for q in sb.side_exit_positions()
-    ]
-    expansions_profitable = all(p <= 0.25 for p in exit_probs)
-
-    if level >= Level.LEV4 and expansions_profitable:
-        report.searches = expand_search_variables(sb)
-        _checkpoint("search expansion")
-    if level >= Level.LEV2:
-        report.renamed = rename_superblock(sb, live_out_exit)
-        _checkpoint("renaming")
-    if level >= Level.LEV4 and expansions_profitable:
-        report.inductions = expand_inductions(sb)
-        _checkpoint("induction expansion")
-        report.accumulators = expand_accumulators(sb)
-        _checkpoint("accumulator expansion")
-    if level >= Level.LEV3:
-        prot = protected_registers(sb, live_out_exit)
-        report.combined = combine_operations(sb.body.instrs, prot)
-        _checkpoint("combining")
-        report.reduced = reduce_strength(func, sb.body.instrs)
-        _checkpoint("strength reduction")
-        report.trees = reduce_tree_height(
-            func, sb.body.instrs, machine, prot, unit_latency=thr_unit_latency
-        )
-        _checkpoint("tree height reduction")
-
-    # post-transform cleanup: fold the preconditioning arithmetic when the
-    # trip count is a compile-time constant (span/div/rem chains become
-    # constants, the remainder guard resolves, and an unnecessary
-    # precondition loop disappears entirely), then clear dead code.  These
-    # passes never move code across branches, so the superblock is safe.
-    from .ir.function import remove_unreachable
-    from .opt.constprop import fold_constant_branches, propagate_constants
-    from .opt.copyprop import propagate_copies_local
-    from .opt.dce import eliminate_dead_code
-    from .opt.redundant_mem import eliminate_redundant_memory
-
-    for it in range(4):
-        prologues = {sb.body.label: prologue_regions(func, sb)}
-        n = propagate_constants(func)
-        n += propagate_copies_local(func)
-        # classical redundant-memory elimination re-applied to the unrolled
-        # superblock: a store forwarded to the next iteration's load turns
-        # a memory recurrence into a register recurrence
-        n += eliminate_redundant_memory(func, prologues)
-        n += fold_constant_branches(func)
-        n += remove_unreachable(func)
-        n += eliminate_dead_code(func, live_out_exit)
-        _checkpoint(f"cleanup iteration {it}")
-        if n == 0:
-            break
-
-    func.reindex_regs()
-    verify_function(func)
-    _checkpoint("ILP transform output")
-    return sb, report
+    ctx = PipelineContext(
+        func=func,
+        report=report if report is not None else PipelineReport(),
+        level=level,
+        machine=machine,
+        live_out_exit=live_out_exit or set(),
+        counted=counted,
+        unroll_factor=unroll_factor,
+        thr_unit_latency=thr_unit_latency,
+    )
+    mgr = PassManager(options, check=check)
+    mgr.run_phase("ilp", ctx)
+    mgr.run_phase("cleanup", ctx)
+    return ctx.sb, ctx.report
 
 
 def prologue_regions(func: Function, sb: SuperblockLoop):
@@ -243,9 +162,12 @@ def schedule_function(
     sb: SuperblockLoop | None = None,
     doall: bool = False,
     check: bool = False,
+    options=None,
+    report=None,
 ) -> dict[str, Schedule]:
     """List-schedule every block of ``func`` in place.
 
+    Runs the registered ``schedule`` phase of the pass manager.
     Side-exit speculation limits come from the live-in sets of branch
     targets.  For the superblock body (``sb``), memory disambiguation sees
     the preheader and, for DOALL loops, the cross-iteration independence
@@ -254,26 +176,15 @@ def schedule_function(
     a scheduler that reorders a use above its flow-dependent definition is
     caught here.
     """
-    lv = liveness(func, live_out_exit or set())
-    regions = prologue_regions(func, sb) if sb is not None else None
-    schedules: dict[str, Schedule] = {}
-    for blk in func.blocks:
-        if not blk.instrs:
-            continue
-        exit_live: dict[int, set[Reg]] = {}
-        for i, ins in enumerate(blk.instrs):
-            if ins.is_control and ins.target is not None:
-                exit_live[i] = lv.live_in.get(ins.target.name, set())
-        is_body = sb is not None and blk is sb.body
-        sched = list_schedule(
-            blk.instrs,
-            machine,
-            exit_live,
-            prologue=regions if is_body else None,
-            doall=doall and is_body,
-        )
-        blk.instrs = sched.order
-        schedules[blk.label] = sched
-    if check:
-        verify_pipeline(func, set(func.pinned_regs), stage="list scheduling")
-    return schedules
+    from .passes import PassManager, PipelineContext, PipelineReport
+
+    ctx = PipelineContext(
+        func=func,
+        report=report if report is not None else PipelineReport(),
+        machine=machine,
+        live_out_exit=live_out_exit or set(),
+        sb=sb,
+        doall=doall,
+    )
+    PassManager(options, check=check).run_phase("schedule", ctx)
+    return ctx.schedules

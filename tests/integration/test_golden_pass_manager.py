@@ -1,0 +1,51 @@
+"""Golden check: the pass-manager pipeline is bit-identical to the
+pre-refactor drivers.
+
+``results/sweep.json`` was produced by the hardwired driver loops the
+unified pass manager replaced.  Re-running the oracle-set configurations
+through the declarative pipeline must reproduce every recorded number
+exactly — cycle counts, instruction counts, inner-loop makespans, and
+register usage.  Any drift means the refactor changed pass order,
+fixpoint semantics, or gating, and is a bug even if the output is still
+"correct".
+
+CI runs this alongside the differential oracle; locally it skips when no
+cached sweep exists.
+"""
+
+import pytest
+
+from repro.experiments.ablation import ORACLE_SET
+from repro.experiments.sweep import load_sweep, run_config
+from repro.machine import MachineConfig
+from repro.pipeline import Level
+from repro.workloads import get_workload
+
+WIDTHS = (1, 2, 4, 8)
+FIELDS = ("cycles", "instructions", "inner_makespan", "int_regs", "fp_regs")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    data = load_sweep()
+    if data is None:
+        pytest.skip("no cached sweep (run python -m repro sweep first)")
+    return data
+
+
+@pytest.mark.parametrize("name", ORACLE_SET)
+def test_oracle_set_bit_identical(golden, name):
+    w = get_workload(name)
+    for level in Level:
+        for width in WIDTHS:
+            want = golden.get(name, level, width)
+            got = run_config(w, level, MachineConfig(issue_width=width),
+                             check=False)
+            mismatches = [
+                f"{f}: got {getattr(got, f)} want {getattr(want, f)}"
+                for f in FIELDS if getattr(got, f) != getattr(want, f)
+            ]
+            assert not mismatches, (
+                f"{name} {level.label} issue-{width} drifted from the "
+                f"pre-refactor golden results: " + "; ".join(mismatches)
+            )
