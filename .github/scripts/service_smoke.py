@@ -1,0 +1,79 @@
+"""CI smoke for the compilation service.
+
+Expects ``python -m repro serve --port 8734 --store ... --max-pending 8``
+already running (the workflow starts it in the background).  Drives six
+mixed requests through the client SDK — two fresh runs, a duplicate
+that must be answered from the artifact store, a compile, an async
+sweep job, and an oversized sweep that must be load-shed — then scrapes
+``/metrics`` and fails on any nonzero service-side error count.
+"""
+
+import sys
+import time
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
+
+URL = "http://127.0.0.1:8734"
+
+
+def main() -> int:
+    c = ServiceClient(URL, timeout=120.0)
+    for _ in range(100):
+        try:
+            c.healthz()
+            break
+        except ServiceUnavailable:
+            time.sleep(0.2)
+    else:
+        print(f"no service at {URL}", file=sys.stderr)
+        return 1
+
+    # 1-2: two fresh configurations (compile + simulate + NumPy check)
+    r1 = c.run("dotprod", level=4, width=8)
+    assert r1["result"]["cycles"] > 0 and r1["result"]["checked"] is True
+    r2 = c.run("sum", level=3, width=4)
+    assert r2["result"]["cycles"] > 0
+
+    # 3: exact duplicate of (1) — must be served from the artifact store
+    dup = c.run("dotprod", level=4, width=8)
+    assert dup["cache"] == "hit", f"expected a store hit, got {dup['cache']!r}"
+    assert dup["result"] == r1["result"], "cached result differs"
+
+    # 4: compile-only request returns scheduled IR, no simulation
+    r4 = c.compile("add", level=2, width=8)["result"]
+    assert "MEM(" in r4["ir"] and "cycles" not in r4
+
+    # 5: async sweep job, polled to completion
+    jid = c.sweep(["add"], levels=[0, 4], widths=[1, 8])
+    rec = c.wait_job(jid, timeout=120.0)
+    assert rec["result"]["configs"] == 4
+
+    # 6: oversized sweep (80 configs > --max-pending 8) — must be shed
+    # atomically as HTTP 429, and must not wedge the service
+    try:
+        c.sweep(["add", "sum", "maxval", "merge"])
+    except ServiceOverloaded:
+        pass
+    else:
+        print("oversized sweep was accepted instead of shed", file=sys.stderr)
+        return 1
+    assert c.healthz()["ok"] is True
+
+    m = c.metrics()
+    print(f"metrics: {m}")
+    assert m["hits"] >= 1, "the duplicate request never hit the store"
+    assert m["shed"] >= 1, "the oversized sweep was never counted as shed"
+    if m["errors"]:
+        print(f"service reported {m['errors']} error(s)", file=sys.stderr)
+        return 1
+    print("service smoke: ok "
+          f"({m['requests']} requests, {m['hits']} hits, {m['shed']} shed)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,12 +13,16 @@ algorithmic one (compilation reuse + interpreter), independent of
 """
 
 import json
+import tempfile
 import time
+from dataclasses import asdict
+from pathlib import Path
 
 from legacy_engine import legacy_run_config
 from repro.experiments.sweep import default_cache_path, run_sweep
 from repro.machine import MachineConfig
 from repro.pipeline import Level
+from repro.service.store import ArtifactStore
 from repro.workloads import get_workload
 
 #: small but representative: FP DOALL, reductions, a search loop with
@@ -26,6 +30,20 @@ from repro.workloads import get_workload
 GRID_WORKLOADS = ("add", "dotprod", "sum", "maxval", "NAS-5", "tomcatv-1")
 GRID_LEVELS = tuple(Level)
 GRID_WIDTHS = (1, 2, 4, 8)
+
+
+def _update_bench(section: dict) -> Path:
+    """Merge one bench section into results/BENCH_sweep.json (the two
+    tests here each own a disjoint set of top-level keys)."""
+    out = default_cache_path().parent / "BENCH_sweep.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        payload = json.loads(out.read_text())
+    except (OSError, json.JSONDecodeError):
+        payload = {}
+    payload.update(section)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out
 
 
 def _grid_workloads():
@@ -72,7 +90,7 @@ def test_sweep_engine_speedup():
         for name, s in sorted(new.pass_seconds().items(),
                               key=lambda kv: kv[1], reverse=True)
     }
-    payload = {
+    out = _update_bench({
         "grid": {
             "workloads": [w.name for w in wls],
             "levels": [int(lv) for lv in GRID_LEVELS],
@@ -84,11 +102,54 @@ def test_sweep_engine_speedup():
         "speedup": round(speedup, 2),
         "identical_results": True,
         "pass_seconds": pass_seconds,
-    }
-    out = default_cache_path().parent / "BENCH_sweep.json"
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    })
     print(f"\nold engine: {t_old:.2f}s  new engine: {t_new:.2f}s  "
           f"speedup: {speedup:.2f}x  ({len(old)} configs) -> {out}")
 
     assert speedup >= 2.0, f"sweep engine speedup regressed: {speedup:.2f}x"
+
+
+def test_warm_store_speedup():
+    """Cold ``repro sweep --store DIR`` vs. a warm rerun against the same
+    store: the warm sweep reloads every configuration from the
+    content-addressed artifact store instead of compiling, and must be
+    at least 5x faster with byte-identical results."""
+    wls = _grid_workloads()
+    n = len(wls) * len(GRID_LEVELS) * len(GRID_WIDTHS)
+
+    def dump(data) -> str:
+        return json.dumps([asdict(data.results[k])
+                           for k in sorted(data.results)])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(Path(tmp) / "store")
+
+        t0 = time.perf_counter()
+        cold = run_sweep(wls, GRID_LEVELS, GRID_WIDTHS, store=store)
+        t_cold = time.perf_counter() - t0
+        assert cold.computed == n and cold.store_hits == 0
+
+        t0 = time.perf_counter()
+        warm = run_sweep(wls, GRID_LEVELS, GRID_WIDTHS, store=store)
+        t_warm = time.perf_counter() - t0
+        assert warm.computed == 0 and warm.store_hits == n
+
+        identical = dump(warm) == dump(cold)
+        assert identical, "warm sweep results differ from cold sweep"
+        speedup = t_cold / t_warm
+        store_bytes = store.total_bytes()
+
+    out = _update_bench({
+        "store": {
+            "configs": n,
+            "cold_s": round(t_cold, 3),
+            "warm_s": round(t_warm, 4),
+            "speedup": round(speedup, 1),
+            "byte_identical": identical,
+            "store_bytes": store_bytes,
+        },
+    })
+    print(f"\ncold sweep: {t_cold:.2f}s  warm (store): {t_warm:.3f}s  "
+          f"speedup: {speedup:.1f}x  ({n} configs) -> {out}")
+
+    assert speedup >= 5.0, f"warm-store speedup too low: {speedup:.1f}x"

@@ -1,0 +1,106 @@
+"""Compilation-as-a-service walkthrough: client SDK against `repro serve`.
+
+Start a service in one terminal::
+
+    python -m repro serve --port 8734 --store /tmp/repro-store
+
+then run this script in another::
+
+    python examples/service_client.py [--url http://127.0.0.1:8734]
+
+It submits a blocking run (twice — the duplicate is answered from the
+content-addressed artifact store), a compile-only request, and an async
+sweep job, then prints the service's own accounting from ``/metrics``.
+
+``--selftest`` skips the external server: it starts an in-process one on
+a free port (the same ``serve_background`` helper the integration tests
+and CI use), drives the identical traffic against it, and exits nonzero
+if anything — including the expected cache hit — does not hold.
+"""
+
+import argparse
+import sys
+import tempfile
+import time
+
+from repro.service.client import ServiceClient, ServiceUnavailable
+
+
+def drive(client: ServiceClient) -> dict:
+    """The tour; returns the final /metrics payload."""
+    print(f"service at {client.base_url}: {client.healthz()}")
+
+    t0 = time.perf_counter()
+    first = client.run("dotprod", level=4, width=8)
+    t_first = time.perf_counter() - t0
+    r = first["result"]
+    print(f"\nrun dotprod lev4/issue-8: {r['cycles']} cycles, "
+          f"{r['instructions']} instructions, unroll x{r['unroll_factor']} "
+          f"[{first['cache']}, {t_first * 1e3:.1f} ms]")
+
+    t0 = time.perf_counter()
+    again = client.run("dotprod", level=4, width=8)
+    t_again = time.perf_counter() - t0
+    print(f"same request again:       {again['result']['cycles']} cycles "
+          f"[{again['cache']}, {t_again * 1e3:.1f} ms]")
+    assert again["cache"] == "hit", "duplicate request should hit the store"
+    assert again["result"] == r, "cached result must be identical"
+
+    ir = client.compile("sum", level=2, width=4)["result"]["ir"]
+    print(f"\ncompile sum lev2/issue-4: scheduled inner loop is "
+          f"{len(ir.splitlines())} instructions")
+
+    job = client.sweep(["add", "sum", "maxval"], levels=[0, 4], widths=[1, 8])
+    print(f"\nsweep submitted as {job}; polling ...")
+    rec = client.wait_job(job, timeout=300.0)
+    print(f"{rec['result']['configs']} configurations "
+          f"({rec['result']['hits']} from cache):")
+    for row in rec["result"]["results"]:
+        print(f"  {row['workload']:<8} lev{row['level']} "
+              f"issue-{row['width']}: {row['cycles']:>6} cycles")
+
+    m = client.metrics()
+    print(f"\nmetrics: {m['requests']} requests, {m['hits']} hits / "
+          f"{m['misses']} misses, {m['batched_cells']} compiled cells, "
+          f"p95 latency {m['latency_p95_s'] * 1e3:.1f} ms, "
+          f"{m['errors']} errors")
+    return m
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--url", default="http://127.0.0.1:8734",
+                    help="a running service (default: %(default)s)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="start an in-process server instead of connecting")
+    args = ap.parse_args(argv)
+
+    if args.selftest:
+        from repro.service.server import serve_background
+
+        with tempfile.TemporaryDirectory() as tmp:
+            httpd, engine, url = serve_background(store_dir=tmp, jobs=1)
+            try:
+                m = drive(ServiceClient(url))
+            finally:
+                httpd.shutdown()
+                engine.close()
+            if m["errors"]:
+                print(f"selftest: {m['errors']} service error(s)",
+                      file=sys.stderr)
+                return 1
+            print("selftest: ok")
+            return 0
+
+    try:
+        drive(ServiceClient(args.url))
+    except ServiceUnavailable as e:
+        print(f"no service at {args.url} ({e}); start one with\n"
+              f"  python -m repro serve --store /tmp/repro-store\n"
+              f"or rerun with --selftest", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,10 @@
     python -m repro run dotprod --level 4 --width 8 [--all-levels]
     python -m repro sweep [--force] [--jobs N]   # full grid -> results/
     python -m repro sweep --workloads add,sum --jobs 2   # subset smoke run
-    python -m repro ablate                       # leave-one-out pass ablation
+    python -m repro sweep --store DIR            # persistent artifact store
+    python -m repro ablate [--jobs N]            # leave-one-out pass ablation
+    python -m repro serve --port 8734 --store DIR --jobs 2  # HTTP service
+    python -m repro submit run dotprod --level 4 --width 8  # client SDK
     python -m repro mii dotprod                  # software-pipelining bounds
     python -m repro check                        # differential oracle, all 40
     python -m repro check --fuzz 50              # + seeded random loop nests
@@ -153,6 +156,13 @@ def cmd_run(args) -> int:
 
 def cmd_sweep(args) -> int:
     options = _pass_options(args)
+    store = None
+    if args.store:
+        from pathlib import Path as _Path
+
+        from .service.store import ArtifactStore
+
+        store = ArtifactStore(_Path(args.store))
     if args.workloads:
         # subset sweep (smoke tests / CI): no figure rendering, prints a
         # per-configuration summary instead
@@ -164,12 +174,13 @@ def cmd_sweep(args) -> int:
         journal = Path(args.journal) if args.journal else None
         data = run_sweep(wls, verbose=True, jobs=args.jobs, journal=journal,
                          resume=not args.force, check_ir=args.check,
-                         options=options)
+                         options=options, store=store)
         for (name, level, width), r in data.results.items():
             print(f"{name:<14}{Level(level).label:<6}issue-{width}: "
                   f"{r.cycles} cycles, {r.instructions} instrs, "
                   f"{r.total_regs} regs  [checked]")
-        print(f"{data.computed} computed, {data.reused} resumed "
+        print(f"{data.computed} computed, {data.reused} resumed, "
+              f"{data.store_hits} from store "
               f"in {data.elapsed:.1f}s ({args.jobs} jobs)")
         return 0
 
@@ -180,6 +191,8 @@ def cmd_sweep(args) -> int:
         argv.append("--force")
     if args.check:
         argv.append("--check")
+    if args.store:
+        argv.extend(["--store", args.store])
     for name in (args.disable_pass or ()):
         argv.extend(["--disable-pass", name])
     return run_all_main(argv)
@@ -222,6 +235,48 @@ def cmd_check(args) -> int:
             print(f"fuzz: {args.fuzz} cases ok")
 
     return 1 if failed else 0
+
+
+def cmd_serve(args) -> int:
+    """Run the compilation service (see repro.service.server)."""
+    from .service.server import main as serve_main
+
+    return serve_main(args.rest)
+
+
+def cmd_submit(args) -> int:
+    """Client side of the service: submit one request, print the reply."""
+    import json as _json
+
+    from .service.client import ServiceClient, ServiceRequestError
+
+    c = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        if args.what in ("compile", "run"):
+            if not args.workload:
+                print("submit compile/run requires a workload", file=sys.stderr)
+                return 2
+            fn = c.compile if args.what == "compile" else c.run
+            reply = fn(args.workload, level=args.level, width=args.width,
+                       disable=args.disable_pass or [])
+        elif args.what == "sweep":
+            names = (args.workload or "").split(",") if args.workload else []
+            if not names:
+                print("submit sweep requires workloads A,B,...", file=sys.stderr)
+                return 2
+            jid = c.sweep(names, widths=[int(x) for x in args.widths.split(",")])
+            reply = c.wait_job(jid, timeout=args.timeout)
+        elif args.what == "job":
+            reply = c.job(args.workload)
+        elif args.what == "metrics":
+            reply = c.metrics()
+        else:  # health
+            reply = c.healthz()
+    except ServiceRequestError as e:
+        print(f"request failed: {e}", file=sys.stderr)
+        return 1
+    print(_json.dumps(reply, indent=2))
+    return 0
 
 
 def cmd_mii(args) -> int:
@@ -301,6 +356,10 @@ def main(argv=None) -> int:
     p.add_argument("--journal", metavar="PATH",
                    help="JSONL journal for a --workloads sweep (enables "
                         "resuming an interrupted run)")
+    p.add_argument("--store", metavar="DIR",
+                   help="persistent content-addressed artifact store: "
+                        "reuse configurations across sweeps/processes and "
+                        "write back everything computed here")
     p.add_argument("--check", action="store_true", help=check_help)
     add_pipeline_flags(p)
 
@@ -309,6 +368,28 @@ def main(argv=None) -> int:
     sub.add_parser("ablate", add_help=False,
                    help="leave-one-out pass ablation -> "
                         "results/ablation.txt")
+
+    # remaining arguments are forwarded verbatim to
+    # repro.service.server (try `python -m repro serve --help`)
+    sub.add_parser("serve", add_help=False,
+                   help="run the compilation service (HTTP server over "
+                        "the artifact store + async job engine)")
+
+    p = sub.add_parser("submit",
+                       help="submit one request to a running service")
+    p.add_argument("what",
+                   choices=("compile", "run", "sweep", "job", "metrics",
+                            "health"))
+    p.add_argument("workload", nargs="?",
+                   help="workload (compile/run), comma list (sweep), "
+                        "or job id (job)")
+    p.add_argument("--url", default="http://127.0.0.1:8734")
+    p.add_argument("--level", type=int, default=4, choices=range(5))
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--widths", default="1,2,4,8", metavar="W,W,...")
+    p.add_argument("--timeout", type=float, default=300.0)
+    p.add_argument("--disable-pass", action="append", default=[],
+                   metavar="NAME")
 
     p = sub.add_parser("mii", help="software-pipelining bounds per level")
     p.add_argument("workload")
@@ -334,14 +415,15 @@ def main(argv=None) -> int:
     p.add_argument("--verbose", action="store_true")
 
     args, extra = ap.parse_known_args(argv)
-    if args.cmd == "ablate":
+    if args.cmd in ("ablate", "serve"):
         args.rest = extra
     elif extra:
         ap.error(f"unrecognized arguments: {' '.join(extra)}")
     return {
         "list": cmd_list, "show": cmd_show, "passes": cmd_passes,
         "compile": cmd_compile, "run": cmd_run, "sweep": cmd_sweep,
-        "ablate": cmd_ablate, "mii": cmd_mii, "check": cmd_check,
+        "ablate": cmd_ablate, "serve": cmd_serve, "submit": cmd_submit,
+        "mii": cmd_mii, "check": cmd_check,
     }[args.cmd](args)
 
 

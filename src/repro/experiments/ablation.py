@@ -17,6 +17,11 @@ the exposed parallelism at this width).
 The default workload set is the 9-kernel oracle subset used by CI, so
 the table is cheap to regenerate; ``--workloads all`` covers the full
 corpus.  Results land in ``results/ablation.txt``.
+
+The grid of (workload, ablated-pass) measurements is embarrassingly
+parallel; ``--jobs N`` fans it out over the sweep engine's fork-based
+process pool with a deterministic merge, so serial and parallel
+ablations produce identical tables.
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ from ..passes import PassOptions
 from ..passes.registry import ablatable_passes, get_pass
 from ..pipeline import Level
 from ..workloads import Workload, all_workloads, get_workload
-from .sweep import default_cache_path, run_config
+from .sweep import _fork_pool, default_cache_path, run_config
 
 #: the differential-oracle CI subset: fast, and spanning FP DOALL,
 #: reductions, searches with side exits, and serial recurrences
@@ -62,6 +67,30 @@ class AblationData:
         return sum(vals) / len(vals) if vals else 0.0
 
 
+def _ablation_task(task: tuple) -> tuple:
+    """One (workload, ablated-pass) measurement: the pair of cycle counts
+    its contribution is computed from.  ``pass_name=None`` measures the
+    full pipeline.  Module-level so the fork pool can pickle it; the
+    worker-process classical-stage cache (keyed by disable set) is
+    shared with the sweep engine.
+    """
+    name, level_int, width, seed, check, pass_name = task
+    w = get_workload(name)
+    # the baseline denominator is re-measured under the same ablation:
+    # disabling a classical pass slows Conv too, and the paper's
+    # speedups are always relative to the pipeline that produced them
+    opts = PassOptions(disable=(pass_name,)) if pass_name else None
+    try:
+        base = run_config(w, Level.CONV, MachineConfig(issue_width=1),
+                          seed=seed, check=check, options=opts).cycles
+        at_level = run_config(w, Level(level_int),
+                              MachineConfig(issue_width=width),
+                              seed=seed, check=check, options=opts).cycles
+    except Exception as e:  # noqa: BLE001 - a finding, not a crash
+        return (name, pass_name, 0, 0, repr(e))
+    return (name, pass_name, base, at_level, None)
+
+
 def run_ablation(
     workloads: list[Workload] | None = None,
     level: Level = Level.LEV4,
@@ -70,6 +99,7 @@ def run_ablation(
     seed: int = 0,
     check: bool = True,
     verbose: bool = False,
+    jobs: int = 1,
 ) -> AblationData:
     """Measure leave-one-out speedup contributions.
 
@@ -77,7 +107,9 @@ def run_ablation(
     non-structural registered pass enabled at ``level``).  ``check``
     validates every ablated run against the workload's NumPy reference,
     so a pass whose removal *breaks* correctness is reported as a
-    failure, not silently tabulated.
+    failure, not silently tabulated.  ``jobs > 1`` distributes the
+    (workload, pass) grid over a process pool; the merge is
+    deterministic, so serial and parallel tables are identical.
     """
     t0 = time.time()
     workloads = workloads if workloads is not None else [
@@ -93,34 +125,38 @@ def run_ablation(
                 raise ValueError(f"pass {name!r} is structural; it cannot "
                                  f"be ablated")
             plist.append(p.name)
-    machine = MachineConfig(issue_width=width)
-    base_machine = MachineConfig(issue_width=1)
+
+    tasks = [
+        (w.name, int(level), width, seed, check, pass_name)
+        for w in workloads for pass_name in (None, *plist)
+    ]
+    if jobs > 1 and len(tasks) > 1:
+        with _fork_pool(jobs) as pool:
+            outs = list(pool.map(_ablation_task, tasks))
+    else:
+        outs = [_ablation_task(t) for t in tasks]
 
     full_speedup: dict[str, float] = {}
     contribution: dict[tuple[str, str], float] = {}
     failures: dict[tuple[str, str], str] = {}
-    for w in workloads:
-        base = run_config(w, Level.CONV, base_machine, seed=seed,
-                          check=check).cycles
-        full = run_config(w, level, machine, seed=seed, check=check).cycles
-        full_speedup[w.name] = base / full
+    for name, pass_name, base, at_level, err in outs:
+        if pass_name is not None:
+            continue
+        if err is not None:  # the *full* pipeline must never fail
+            raise RuntimeError(f"{name}: full-pipeline run failed: {err}")
+        full_speedup[name] = base / at_level
         if verbose:
-            print(f"  {w.name:<14}full {base / full:5.2f}x", file=sys.stderr)
-        for name in plist:
-            opts = PassOptions(disable=(name,))
-            try:
-                # the baseline denominator is re-measured under the same
-                # ablation: disabling a classical pass slows Conv too,
-                # and the paper's speedups are always relative to the
-                # pipeline that produced them
-                abase = run_config(w, Level.CONV, base_machine, seed=seed,
-                                   check=check, options=opts).cycles
-                without = run_config(w, level, machine, seed=seed,
-                                     check=check, options=opts).cycles
-            except Exception as e:  # noqa: BLE001 - a finding, not a crash
-                failures[(name, w.name)] = repr(e)
-                continue
-            contribution[(name, w.name)] = full_speedup[w.name] - abase / without
+            print(f"  {name:<14}full {base / at_level:5.2f}x",
+                  file=sys.stderr)
+    for name, pass_name, base, at_level, err in outs:
+        if pass_name is None:
+            continue
+        if err is not None:
+            failures[(pass_name, name)] = err
+        else:
+            contribution[(pass_name, name)] = (
+                full_speedup[name] - base / at_level
+            )
     return AblationData(
         level=level, width=width, workloads=[w.name for w in workloads],
         passes=plist, full_speedup=full_speedup, contribution=contribution,
@@ -183,6 +219,10 @@ def main(argv=None) -> int:
                     help="restrict to these passes (default: every "
                          "ablatable pass enabled at the level)")
     ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes for the (workload, pass) grid "
+                         "(default: 1); the table is identical at any "
+                         "job count")
     ap.add_argument("--no-check", action="store_true",
                     help="skip the NumPy reference validation of each run")
     ap.add_argument("--out", metavar="PATH",
@@ -199,7 +239,7 @@ def main(argv=None) -> int:
 
     data = run_ablation(
         wls, Level(args.level), args.width, passes=passes, seed=args.seed,
-        check=not args.no_check, verbose=True,
+        check=not args.no_check, verbose=True, jobs=args.jobs,
     )
     text = render_ablation(data)
     out = Path(args.out) if args.out else default_ablation_path()

@@ -88,14 +88,24 @@ def main(argv=None) -> int:
                     help="skip a registered pass everywhere (repeatable; "
                          "see `python -m repro passes`); the run bypasses "
                          "the sweep cache")
+    ap.add_argument("--store", metavar="DIR",
+                    help="persistent artifact store: reuse configurations "
+                         "computed by earlier sweeps or service traffic, "
+                         "and write back everything computed here")
     args = ap.parse_args(argv)
 
     from ..passes import PassOptions
 
     options = (PassOptions(disable=tuple(args.disable_pass))
                if args.disable_pass else None)
+    store = None
+    if args.store:
+        from ..service.store import ArtifactStore
+
+        store = ArtifactStore(Path(args.store))
     data = sweep_cached(force=args.force, verbose=not args.quiet,
-                        jobs=args.jobs, check_ir=args.check, options=options)
+                        jobs=args.jobs, check_ir=args.check, options=options,
+                        store=store)
     outdir = default_cache_path().parent
     outdir.mkdir(parents=True, exist_ok=True)
 
@@ -111,7 +121,9 @@ def main(argv=None) -> int:
             print(text)
     print(f"\nwrote {len(texts)} artifacts to {outdir}/ "
           f"(sweep {data.elapsed:.1f}s, {data.computed} computed"
-          + (f", {data.reused} resumed" if data.reused else "") + ")",
+          + (f", {data.reused} resumed" if data.reused else "")
+          + (f", {data.store_hits} from store" if data.store_hits else "")
+          + ")",
           file=sys.stderr)
     return 0
 

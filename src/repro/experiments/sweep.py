@@ -22,6 +22,13 @@ exploits both:
 * **Resumability.**  Each finished configuration is appended to a JSONL
   *journal*; an interrupted sweep rerun with the same journal reloads
   the finished configurations and computes only the missing ones.
+* **Persistence.**  With ``store=`` (CLI ``--store DIR``), finished
+  configurations are also written to the content-addressed artifact
+  store (:mod:`repro.service.store`), keyed by the same canonical
+  identity as the service (:mod:`repro.service.keys`).  A later sweep
+  pointed at the same store — or compile/run traffic served from it —
+  reuses them across processes and machines, so a warm rerun is
+  near-free.
 
 Results are cached as JSON so the figure benchmarks can re-render without
 recomputation (delete ``results/sweep.json`` or pass ``force=True`` to
@@ -49,6 +56,7 @@ from ..machine import MachineConfig
 from ..passes import PassOptions
 from ..pipeline import Level
 from ..regalloc import measure_register_usage
+from ..service.keys import request_key, sweep_header, workload_fingerprint
 from ..workloads import Workload, all_workloads, check_run, get_workload
 
 WIDTHS = (1, 2, 4, 8)
@@ -97,6 +105,8 @@ class SweepData:
     reused: int = 0
     #: corrupt/truncated journal lines skipped while resuming
     journal_skipped: int = 0
+    #: configurations served from the persistent artifact store
+    store_hits: int = 0
 
     def get(self, name: str, level: Level, width: int) -> ConfigResult:
         return self.results[(name, int(level), width)]
@@ -261,9 +271,13 @@ def run_config(
 
 def _journal_header(seed: int, check: bool, check_ir: bool = False,
                     options: PassOptions | None = None) -> dict:
-    return {"version": CACHE_VERSION, "seed": seed, "check": check,
-            "check_ir": check_ir,
-            "disable": list(options.key) if options is not None else []}
+    """Journal identity: the canonical grid-wide half of the request
+    identity (:func:`repro.service.keys.sweep_header` — shared with the
+    artifact store, so the two can never disagree) plus the journal's
+    own schema version."""
+    disable = options.key if options is not None else ()
+    return {"version": CACHE_VERSION,
+            **sweep_header(seed, check, check_ir, disable)}
 
 
 def read_journal(
@@ -325,6 +339,7 @@ def run_sweep(
     resume: bool = True,
     check_ir: bool = False,
     options: PassOptions | None = None,
+    store=None,
 ) -> SweepData:
     """Run the evaluation grid.
 
@@ -337,10 +352,25 @@ def run_sweep(
     pass of every configuration (the CLI ``--check`` flag); ``options``
     carries ``--disable-pass`` pipeline controls (recorded in the journal
     header, so a resumed sweep never mixes pipelines).
+
+    ``store`` (an :class:`~repro.service.store.ArtifactStore`) adds a
+    persistent cross-process layer: configurations whose canonical key
+    is already stored are reloaded instead of computed, and every
+    computed configuration is written back, so a second sweep against
+    the same store is near-free.
     """
     workloads = workloads or all_workloads()
     data = SweepData()
     t0 = time.time()
+    disable = options.key if options is not None else ()
+
+    def store_key(name: str, level: int, width: int, fp: str) -> str:
+        # "result" blobs hold the sweep's full ConfigResult (phase and
+        # per-pass timings included) — distinct from the service's
+        # leaner "run" payloads for the same configuration
+        return request_key("result", name, level, width, seed=seed,
+                           check=check, check_ir=check_ir, disable=disable,
+                           fingerprint=fp)
 
     if journal is not None and resume and journal.exists():
         wanted = {
@@ -360,6 +390,30 @@ def run_sweep(
                   f"line(s) (first at line {skipped[0]}); "
                   f"those configurations will be recomputed", file=sys.stderr)
     data.reused = len(data.results)
+
+    fingerprints: dict[str, str] = {}
+    if store is not None:
+        # persistent layer: anything the journal did not cover may still
+        # be in the artifact store from an earlier sweep (or service
+        # traffic).  A corrupt or stale blob is just a miss.
+        fingerprints = {w.name: workload_fingerprint(w.name)
+                        for w in workloads}
+        for w in workloads:
+            for level in levels:
+                for wd in widths:
+                    gk = (w.name, int(level), wd)
+                    if gk in data.results:
+                        continue
+                    payload = store.get(
+                        store_key(w.name, int(level), wd, fingerprints[w.name])
+                    )
+                    if payload is None:
+                        continue
+                    try:
+                        data.results[gk] = ConfigResult(**payload)
+                    except TypeError:
+                        continue  # foreign schema: recompute
+                    data.store_hits += 1
 
     # one task per (workload, level): the widths of a cell share their
     # transformed code, so they stay together
@@ -393,6 +447,12 @@ def run_sweep(
             data.results[(r.workload, r.level, r.width)] = r
             if jf is not None:
                 jf.write(json.dumps(asdict(r)) + "\n")
+            if store is not None:
+                fp = fingerprints.get(r.workload)
+                if fp is None:
+                    fp = fingerprints[r.workload] = workload_fingerprint(r.workload)
+                store.put(store_key(r.workload, r.level, r.width, fp),
+                          asdict(r))
         if jf is not None:
             jf.flush()
         data.computed += len(rs)
@@ -474,7 +534,8 @@ def load_sweep(path: Path | None = None, require_complete: bool = True) -> Sweep
 
 def sweep_cached(force: bool = False, verbose: bool = False, jobs: int = 1,
                  check_ir: bool = False,
-                 options: PassOptions | None = None) -> SweepData:
+                 options: PassOptions | None = None,
+                 store=None) -> SweepData:
     """Load the cached grid or compute and cache it.
 
     Computation journals to ``results/sweep.journal.jsonl``, so an
@@ -483,7 +544,9 @@ def sweep_cached(force: bool = False, verbose: bool = False, jobs: int = 1,
     with the between-pass invariant verifier on (never satisfied from the
     cache, which does not record verification).  A run with disabled
     passes (``options``) bypasses the cache entirely — loading and
-    saving — so ablations never poison the canonical grid.
+    saving — so ablations never poison the canonical grid.  ``store``
+    threads a persistent :class:`~repro.service.store.ArtifactStore`
+    through the computation (CLI ``--store DIR``).
     """
     ablated = options is not None and bool(options.key)
     if not force and not check_ir and not ablated:
@@ -492,10 +555,10 @@ def sweep_cached(force: bool = False, verbose: bool = False, jobs: int = 1,
             return cached
     if ablated:
         return run_sweep(verbose=verbose, jobs=jobs, check_ir=check_ir,
-                         options=options)
+                         options=options, store=store)
     journal = default_journal_path()
     data = run_sweep(verbose=verbose, jobs=jobs, journal=journal,
-                     resume=not force, check_ir=check_ir)
+                     resume=not force, check_ir=check_ir, store=store)
     save_sweep(data)
     journal.unlink(missing_ok=True)
     return data

@@ -1,0 +1,122 @@
+"""Client SDK for the compilation service (stdlib ``urllib`` only).
+
+    from repro.service.client import ServiceClient
+
+    c = ServiceClient("http://127.0.0.1:8734")
+    c.healthz()
+    r = c.run("dotprod", level=4, width=8)        # blocks; cached or fresh
+    job = c.sweep(["add", "sum"], widths=[1, 8])  # async: returns job id
+    data = c.wait_job(job)                        # poll until done
+    c.metrics()["hits"]
+
+Errors are raised as :class:`ServiceUnavailable` (connection refused),
+:class:`ServiceOverloaded` (HTTP 429 — back off and retry), or
+:class:`ServiceRequestError` (anything else non-2xx, with the server's
+error string).  Used by ``repro submit``, ``experiments/sweep.py``
+clients, and ``examples/service_client.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+class ServiceRequestError(RuntimeError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceOverloaded(ServiceRequestError):
+    """The service shed the request (HTTP 429): retry after a backoff."""
+
+
+class ServiceUnavailable(RuntimeError):
+    """The service could not be reached at all."""
+
+
+class ServiceClient:
+    def __init__(self, base_url: str, timeout: float = 300.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _call(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as e:
+            try:
+                message = json.loads(e.read() or b"{}").get("error", str(e))
+            except json.JSONDecodeError:
+                message = str(e)
+            cls = ServiceOverloaded if e.code == 429 else ServiceRequestError
+            raise cls(e.code, message) from None
+        except urllib.error.URLError as e:
+            raise ServiceUnavailable(f"{self.base_url}: {e.reason}") from None
+
+    # -- endpoints ------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._call("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._call("GET", "/metrics")
+
+    def compile(self, workload: str, level: int = 4, width: int = 8,
+                **kwargs) -> dict:
+        """Compile one configuration; returns the artifact payload
+        (``result``) plus job id and cache disposition."""
+        body = {"workload": workload, "level": level, "width": width, **kwargs}
+        return self._call("POST", "/v1/compile", body)
+
+    def run(self, workload: str, level: int = 4, width: int = 8,
+            **kwargs) -> dict:
+        """Compile + simulate (+ NumPy-check) one configuration."""
+        body = {"workload": workload, "level": level, "width": width, **kwargs}
+        return self._call("POST", "/v1/run", body)
+
+    def sweep(self, workloads: list[str], levels=None, widths=None,
+              **kwargs) -> str:
+        """Submit an async sweep; returns the job id to poll."""
+        body = {"workloads": list(workloads), **kwargs}
+        if levels is not None:
+            body["levels"] = list(levels)
+        if widths is not None:
+            body["widths"] = list(widths)
+        return self._call("POST", "/v1/sweep", body)["job"]
+
+    def job(self, job_id: str) -> dict:
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def wait_job(self, job_id: str, timeout: float = 300.0,
+                 poll: float = 0.05) -> dict:
+        """Poll a job until it leaves the queue; returns its final record.
+
+        Raises :class:`ServiceRequestError` if the job failed or timed
+        out server-side.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            rec = self.job(job_id)
+            if rec["state"] in ("done", "failed", "timeout"):
+                if rec["state"] != "done":
+                    raise ServiceRequestError(
+                        500, f"job {job_id} {rec['state']}: {rec['error']}"
+                    )
+                return rec
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {rec['state']} "
+                                   f"after {timeout}s")
+            time.sleep(poll)

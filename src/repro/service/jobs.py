@@ -1,0 +1,486 @@
+"""Async job engine: single-flight, batching, admission control.
+
+The engine owns an asyncio event loop on a background thread plus the
+sweep engine's ``fork``-based :class:`ProcessPoolExecutor`.  Requests
+enter from any thread (HTTP handler threads, the client-side of tests)
+via :meth:`JobEngine.submit`; results flow back through
+``concurrent.futures`` bridges.
+
+Request lifecycle::
+
+    submit ──admission──▶ store lookup ──hit──▶ done (cache="hit")
+                │ full                │ miss
+                ▼                     ▼
+            Overloaded         single-flight table ──in flight──▶ join
+               (shed)                 │ new
+                                      ▼
+                         cell batch (workload, level, ...) ── batch
+                         window ──▶ one width-sharded compilation on
+                         the process pool ──▶ store.put per width ──▶
+                         resolve every joined future
+
+* **Single-flight** — identical requests (same canonical key from
+  :mod:`repro.service.keys`) submitted while one is in flight await the
+  same future; only one computation runs.
+* **Batching** — requests that differ *only in issue width* land in the
+  same *cell* (one (workload, level, seed, flags, disable) unit).  The
+  first request arms a ``batch_window`` timer; everything that joins
+  the cell before it fires is compiled once and scheduled per width —
+  the same width-sharding the sweep engine uses
+  (``TransformedKernel.clone``).
+* **Admission control** — at most ``max_pending`` accepted-but-
+  unfinished configurations; past that, new requests are *shed*
+  (:class:`Overloaded`, surfaced as HTTP 429).  A sweep request is
+  admitted or shed atomically for all the configurations it expands to,
+  so one oversized sweep cannot wedge the queue.
+* **Timeouts** — each request carries a deadline
+  (``default_timeout`` unless overridden); expiry fails *that waiter*
+  with :class:`RequestTimeout` while the underlying computation is left
+  to finish and populate the store (process-pool work is not
+  cancellable mid-kernel).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..experiments.sweep import _conv_cached, _fork_pool, _inputs_cached
+from ..harness import ilp_transform, run_compiled_kernel, schedule_kernel
+from ..ir.printer import format_block
+from ..machine import MachineConfig
+from ..passes import PassOptions
+from ..pipeline import Level
+from ..regalloc import measure_register_usage
+from ..workloads import check_run, get_workload
+from .keys import request_key, workload_fingerprint
+from .store import ArtifactStore
+
+
+class Overloaded(RuntimeError):
+    """Admission control rejected the request (HTTP 429)."""
+
+
+class RequestTimeout(RuntimeError):
+    """The request's deadline expired before its result was ready."""
+
+
+# ---------------------------------------------------------------------------
+# the process-pool worker (module-level: must pickle under fork)
+# ---------------------------------------------------------------------------
+
+
+def _array_digest(arr: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+
+def compute_cell(task: tuple) -> list[dict]:
+    """Compile one (workload, level) cell for several widths; optionally
+    simulate.  Mirrors the sweep engine's ``_run_task`` width sharding:
+    classical optimization is cached per worker process, the ILP
+    transformation runs once, each width schedules a structural clone.
+    """
+    kind, name, level_int, widths, seed, check, check_ir, disable = task
+    w = get_workload(name)
+    options = PassOptions(disable=tuple(disable)) if disable else None
+    simulate = kind == "run"
+
+    conv, _ = _conv_cached(w, options)
+    tk = ilp_transform(conv.clone(), Level(level_int),
+                       MachineConfig(issue_width=widths[0]),
+                       check=check_ir, options=options)
+    out: list[dict] = []
+    for i, width in enumerate(widths):
+        machine = MachineConfig(issue_width=width)
+        clone = tk.clone() if i + 1 < len(widths) else tk
+        ck = schedule_kernel(clone, machine, check=check_ir, options=options)
+        usage = measure_register_usage(ck.func, ck.lowered.live_out_exit)
+        payload = {
+            "kind": kind,
+            "workload": name,
+            "level": level_int,
+            "width": width,
+            "inner_makespan": ck.inner_makespan,
+            "int_regs": usage.int_regs,
+            "fp_regs": usage.fp_regs,
+            "static_instructions": sum(len(b.instrs) for b in ck.func.blocks),
+            "unroll_factor": ck.report.unroll_factor,
+        }
+        if simulate:
+            arrays, scalars = _inputs_cached(w, seed)
+            run = run_compiled_kernel(ck, arrays=arrays, scalars=scalars)
+            if check:
+                check_run(w, run.arrays, run.scalars, arrays, scalars)
+            payload.update(
+                cycles=run.cycles,
+                instructions=run.instructions,
+                checked=bool(check),
+                seed=seed,
+                scalars={k: v for k, v in run.scalars.items()},
+                array_digests={k: _array_digest(v)
+                               for k, v in sorted(run.arrays.items())},
+            )
+        else:
+            payload["ir"] = format_block(ck.sb.body)
+        out.append(payload)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# jobs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Job:
+    """One accepted request (or sweep of requests) and its outcome."""
+
+    id: str
+    kind: str
+    request: dict
+    state: str = "queued"        # queued | running | done | failed | timeout
+    cache: Optional[str] = None  # hit | miss | joined (single-flight)
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    created: float = field(default_factory=time.time)
+    finished: Optional[float] = None
+    #: bridge to the waiting thread
+    future: Optional["asyncio.Future"] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.id, "kind": self.kind, "request": self.request,
+            "state": self.state, "cache": self.cache, "result": self.result,
+            "error": self.error, "created": self.created,
+            "finished": self.finished,
+        }
+
+
+@dataclass
+class _Cell:
+    """A batch of width-compatible requests awaiting one compilation."""
+
+    task_head: tuple  # (kind, workload, level) — widths appended at fire
+    seed: int
+    check: bool
+    check_ir: bool
+    disable: tuple
+    #: width -> (key, future) of every request joined before the timer fired
+    waiters: dict[int, tuple[str, "asyncio.Future"]] = field(default_factory=dict)
+
+
+class JobEngine:
+    """The service's execution core (shared by server and tests)."""
+
+    def __init__(
+        self,
+        store: ArtifactStore | None = None,
+        jobs: int = 1,
+        max_pending: int = 64,
+        batch_window: float = 0.01,
+        default_timeout: float = 120.0,
+    ):
+        self.store = store
+        self.max_pending = max_pending
+        self.batch_window = batch_window
+        self.default_timeout = default_timeout
+        self._pool = _fork_pool(jobs)
+        # fork the workers before the loop / HTTP threads exist: forking
+        # a many-threaded process risks inheriting held locks
+        for f in [self._pool.submit(int, 0) for _ in range(jobs)]:
+            f.result()
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._loop.run_forever,
+                                        name="repro-service-loop", daemon=True)
+        self._thread.start()
+        self._lock = threading.Lock()
+        self._pending = 0           # accepted, unfinished configurations
+        self._jobs: dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        # loop-confined state (touched only on the loop thread)
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._cells: dict[tuple, _Cell] = {}
+        # metrics
+        self.counters = {
+            "requests": 0, "hits": 0, "misses": 0, "joined": 0,
+            "batched_cells": 0, "computed": 0, "shed": 0, "timeouts": 0,
+            "errors": 0, "sweeps": 0,
+        }
+        self._latencies: deque[float] = deque(maxlen=2048)
+        self._closed = False
+
+    # -- admission ------------------------------------------------------
+
+    def _admit(self, n: int) -> None:
+        with self._lock:
+            if self._pending + n > self.max_pending:
+                self.counters["shed"] += 1
+                raise Overloaded(
+                    f"queue full: {self._pending} pending + {n} requested "
+                    f"> {self.max_pending} capacity"
+                )
+            self._pending += n
+
+    def _release(self, n: int) -> None:
+        with self._lock:
+            self._pending -= n
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._pending
+
+    # -- submission (any thread) ---------------------------------------
+
+    def _new_job(self, kind: str, request: dict) -> Job:
+        with self._lock:
+            jid = f"job-{next(self._ids):06d}"
+            job = Job(jid, kind, request)
+            self._jobs[jid] = job
+        return job
+
+    def submit(self, kind: str, workload: str, level: int, width: int, *,
+               seed: int = 0, check: bool = True, check_ir: bool = False,
+               disable: tuple = (), timeout: float | None = None) -> Job:
+        """Admit one compile/run request; returns immediately with a Job
+        whose ``future`` resolves to the result payload."""
+        get_workload(workload)  # unknown workloads fail fast, pre-admission
+        request = {"workload": workload, "level": int(level),
+                   "width": int(width), "seed": int(seed),
+                   "check": bool(check), "check_ir": bool(check_ir),
+                   "disable": sorted(set(disable))}
+        self._admit(1)
+        self.counters["requests"] += 1
+        job = self._new_job(kind, request)
+        job.future = asyncio.run_coroutine_threadsafe(
+            self._handle(job, timeout), self._loop
+        )
+        return job
+
+    def submit_sweep(self, workloads: list[str], levels: list[int],
+                     widths: list[int], *, seed: int = 0, check: bool = True,
+                     check_ir: bool = False, disable: tuple = (),
+                     timeout: float | None = None) -> Job:
+        """Admit a grid of run requests atomically (all or shed)."""
+        for name in workloads:
+            get_workload(name)
+        n = len(workloads) * len(levels) * len(widths)
+        if n == 0:
+            raise ValueError("empty sweep")
+        request = {"workloads": list(workloads), "levels": list(levels),
+                   "widths": list(widths), "seed": int(seed),
+                   "check": bool(check), "check_ir": bool(check_ir),
+                   "disable": sorted(set(disable)), "configs": n}
+        self._admit(n)
+        self.counters["requests"] += 1
+        self.counters["sweeps"] += 1
+        job = self._new_job("sweep", request)
+        job.future = asyncio.run_coroutine_threadsafe(
+            self._handle_sweep(job, timeout), self._loop
+        )
+        return job
+
+    def job(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def wait(self, job: Job, timeout: float | None = None) -> dict:
+        """Block until the job resolves; raises its failure if any."""
+        return job.future.result(timeout)
+
+    # -- request handling (loop thread) --------------------------------
+
+    async def _handle(self, job: Job, timeout: float | None) -> dict:
+        t0 = time.perf_counter()
+        job.state = "running"
+        try:
+            result = await asyncio.wait_for(
+                self._request(job.kind, job.request, job),
+                timeout if timeout is not None else self.default_timeout,
+            )
+            job.result = result
+            job.state = "done"
+            return result
+        except asyncio.TimeoutError:
+            job.state = "timeout"
+            job.error = "deadline expired"
+            self.counters["timeouts"] += 1
+            self.counters["errors"] += 1
+            raise RequestTimeout(f"{job.id}: deadline expired") from None
+        except Exception as e:
+            job.state = "failed"
+            job.error = repr(e)
+            self.counters["errors"] += 1
+            raise
+        finally:
+            job.finished = time.time()
+            self._latencies.append(time.perf_counter() - t0)
+            self._release(1)
+
+    async def _handle_sweep(self, job: Job, timeout: float | None) -> dict:
+        t0 = time.perf_counter()
+        job.state = "running"
+        req = job.request
+        subs = [
+            {"workload": w, "level": lv, "width": wd, "seed": req["seed"],
+             "check": req["check"], "check_ir": req["check_ir"],
+             "disable": req["disable"]}
+            for w in req["workloads"] for lv in req["levels"]
+            for wd in req["widths"]
+        ]
+        try:
+            hits0 = self.counters["hits"]
+            results = await asyncio.wait_for(
+                asyncio.gather(*(self._request("run", s, None) for s in subs)),
+                timeout if timeout is not None else self.default_timeout,
+            )
+            result = {
+                "configs": len(subs),
+                "hits": self.counters["hits"] - hits0,
+                "results": sorted(
+                    results,
+                    key=lambda r: (r["workload"], r["level"], r["width"]),
+                ),
+            }
+            job.result = result
+            job.state = "done"
+            return result
+        except asyncio.TimeoutError:
+            job.state = "timeout"
+            job.error = "deadline expired"
+            self.counters["timeouts"] += 1
+            self.counters["errors"] += 1
+            raise RequestTimeout(f"{job.id}: deadline expired") from None
+        except Exception as e:
+            job.state = "failed"
+            job.error = repr(e)
+            self.counters["errors"] += 1
+            raise
+        finally:
+            job.finished = time.time()
+            self._latencies.append(time.perf_counter() - t0)
+            self._release(len(subs))
+
+    async def _request(self, kind: str, req: dict, job: Job | None) -> dict:
+        """Resolve one configuration: store, single-flight, or batch."""
+        key = request_key(
+            kind, req["workload"], req["level"], req["width"],
+            seed=req["seed"], check=req["check"], check_ir=req["check_ir"],
+            disable=tuple(req["disable"]),
+            fingerprint=workload_fingerprint(req["workload"]),
+        )
+        if self.store is not None:
+            cached = self.store.get(key)
+            if cached is not None:
+                self.counters["hits"] += 1
+                if job is not None:
+                    job.cache = "hit"
+                return cached
+        self.counters["misses"] += 1
+        shared = self._inflight.get(key)
+        if shared is not None:
+            self.counters["joined"] += 1
+            if job is not None:
+                job.cache = "joined"
+            return await asyncio.shield(shared)
+        if job is not None:
+            job.cache = "miss"
+        fut = self._join_cell(kind, req, key)
+        self._inflight[key] = fut
+        try:
+            return await asyncio.shield(fut)
+        finally:
+            if self._inflight.get(key) is fut:
+                del self._inflight[key]
+
+    def _join_cell(self, kind: str, req: dict, key: str) -> "asyncio.Future":
+        """Attach a request to its cell batch, arming the timer on first
+        join; returns the future for this request's width."""
+        cell_id = (kind, req["workload"], req["level"], req["seed"],
+                   req["check"], req["check_ir"], tuple(req["disable"]))
+        cell = self._cells.get(cell_id)
+        if cell is None:
+            cell = _Cell(
+                task_head=(kind, req["workload"], req["level"]),
+                seed=req["seed"], check=req["check"],
+                check_ir=req["check_ir"], disable=tuple(req["disable"]),
+            )
+            self._cells[cell_id] = cell
+            self._loop.call_later(
+                self.batch_window,
+                lambda: asyncio.ensure_future(self._fire_cell(cell_id)),
+            )
+        width = req["width"]
+        if width not in cell.waiters:
+            cell.waiters[width] = (key, self._loop.create_future())
+        return cell.waiters[width][1]
+
+    async def _fire_cell(self, cell_id: tuple) -> None:
+        cell = self._cells.pop(cell_id, None)
+        if cell is None:
+            return
+        kind, name, level = cell.task_head
+        widths = tuple(sorted(cell.waiters))
+        task = (kind, name, level, widths, cell.seed, cell.check,
+                cell.check_ir, cell.disable)
+        self.counters["batched_cells"] += 1
+        try:
+            payloads = await self._loop.run_in_executor(
+                self._pool, compute_cell, task
+            )
+        except Exception as e:
+            for _, fut in cell.waiters.values():
+                if not fut.done():
+                    fut.set_exception(e)
+            return
+        self.counters["computed"] += len(payloads)
+        for payload in payloads:
+            width_key, fut = cell.waiters[payload["width"]]
+            if self.store is not None:
+                self.store.put(width_key, payload)
+            if not fut.done():
+                fut.set_result(payload)
+
+    # -- metrics --------------------------------------------------------
+
+    def metrics(self) -> dict:
+        lats = sorted(self._latencies)
+
+        def pct(p: float) -> float:
+            if not lats:
+                return 0.0
+            return lats[min(len(lats) - 1, int(p * len(lats)))]
+
+        m = dict(self.counters)
+        m.update(
+            queue_depth=self.queue_depth,
+            latency_p50_s=round(pct(0.50), 6),
+            latency_p95_s=round(pct(0.95), 6),
+            jobs_total=len(self._jobs),
+        )
+        if self.store is not None:
+            m["store"] = {
+                "entries": len(self.store),
+                "bytes": self.store.total_bytes(),
+                **self.store.stats.as_dict(),
+            }
+        return m
+
+    # -- shutdown -------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._loop.close()

@@ -1,0 +1,156 @@
+"""Canonical configuration identity: one definition of "same config".
+
+Three consumers need to agree on when two compile/run requests denote
+the same work:
+
+* the sweep journal (resume must never reuse a result computed under
+  different parameters),
+* the content-addressed artifact store (a hit must be byte-equivalent
+  to recomputing), and
+* the job engine's single-flight table (duplicate in-flight requests
+  collapse onto one computation).
+
+They all go through this module.  The identity of a request is a plain
+dict with **every field present** (defaults filled in, never omitted)
+and all set-valued fields sorted, serialized as canonical JSON (sorted
+keys, fixed separators), and hashed with SHA-256 together with:
+
+* the *canonicalized kernel source* of the workload (the FORTRAN-style
+  pretty-printing of its AST — so editing a workload's kernel
+  invalidates its artifacts while renames of Python internals do not),
+* the full machine description (latencies, slot limits, speculation
+  flags — not just the issue width), and
+* :data:`CODE_VERSION`, a salt bumped whenever the compiler or
+  simulator changes observable output, which invalidates every stored
+  artifact at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..frontend.pretty import kernel_str
+from ..machine import MachineConfig, to_description
+from ..workloads import get_workload
+
+#: Bump when compiled output or simulation semantics change: every
+#: artifact keyed under the old salt becomes unreachable (and is lazily
+#: invalidated by the store).  The sweep journal embeds it too, so a
+#: stale journal is recomputed rather than trusted.
+CODE_VERSION = "repro-2026.08-pm3"
+
+#: Request kinds with distinct result payloads (a compile artifact is
+#: not a run result, so they get distinct keys even for one config):
+#: ``compile`` = scheduled-code artifact, ``run`` = the service's
+#: simulate+check payload, ``result`` = the sweep's full ConfigResult
+#: (timings and per-pass stats included).
+KINDS = ("compile", "run", "result")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def workload_fingerprint(workload: str) -> str:
+    """SHA-256 of the workload's canonicalized kernel source.
+
+    The pretty-printed FORTRAN-style source is the canonical form: it
+    captures arrays/scalars/outputs and the loop-nest body, and is
+    stable under refactors of the Python builder that produce the same
+    kernel.
+    """
+    src = kernel_str(get_workload(workload).build())
+    return hashlib.sha256(src.encode()).hexdigest()
+
+
+def request_identity(
+    kind: str,
+    workload: str,
+    level: int,
+    width: int,
+    *,
+    seed: int = 0,
+    check: bool = True,
+    check_ir: bool = False,
+    disable: tuple[str, ...] = (),
+    machine: MachineConfig | None = None,
+) -> dict:
+    """The canonical identity dict of one request, defaults filled in.
+
+    ``disable`` is deduplicated and sorted (PassOptions semantics: the
+    disable *set* is what matters).  ``machine`` defaults to the paper
+    machine at ``width``; passing an explicit config must agree with
+    ``width``.
+    """
+    if kind not in KINDS:
+        raise ValueError(f"unknown request kind {kind!r} (known: {KINDS})")
+    if machine is None:
+        machine = MachineConfig(issue_width=int(width))
+    elif machine.issue_width != int(width):
+        raise ValueError(
+            f"machine issue_width {machine.issue_width} != width {width}"
+        )
+    return {
+        "kind": kind,
+        "workload": str(workload),
+        "level": int(level),
+        "width": int(width),
+        "seed": int(seed),
+        "check": bool(check),
+        "check_ir": bool(check_ir),
+        "disable": sorted(set(disable)),
+        "machine": to_description(machine),
+    }
+
+
+def request_key(
+    kind: str,
+    workload: str,
+    level: int,
+    width: int,
+    *,
+    seed: int = 0,
+    check: bool = True,
+    check_ir: bool = False,
+    disable: tuple[str, ...] = (),
+    machine: MachineConfig | None = None,
+    fingerprint: str | None = None,
+) -> str:
+    """Content address of a request's result: SHA-256 hex digest over the
+    canonical identity, the kernel-source fingerprint, and the
+    code-version salt.
+
+    ``fingerprint`` can be supplied to avoid rebuilding the kernel when
+    the caller loops over many configurations of one workload.
+    """
+    ident = request_identity(
+        kind, workload, level, width, seed=seed, check=check,
+        check_ir=check_ir, disable=disable, machine=machine,
+    )
+    if fingerprint is None:
+        fingerprint = workload_fingerprint(workload)
+    payload = {"salt": CODE_VERSION, "kernel": fingerprint, "request": ident}
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def sweep_header(
+    seed: int, check: bool, check_ir: bool = False, disable: tuple[str, ...] = ()
+) -> dict:
+    """The sweep-journal header: the grid-wide half of the identity.
+
+    A journal line is keyed by (workload, level, width); everything else
+    a :func:`request_identity` contains — seed, check flags, disable
+    set, code version — lives here, so header equality plus grid key
+    equality is exactly request-identity equality (the journal always
+    uses the default paper machine per width).
+    """
+    return {
+        "salt": CODE_VERSION,
+        "seed": int(seed),
+        "check": bool(check),
+        "check_ir": bool(check_ir),
+        "disable": sorted(set(disable)),
+    }

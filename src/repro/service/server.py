@@ -1,0 +1,248 @@
+"""HTTP front-end: stdlib ``ThreadingHTTPServer`` over the job engine.
+
+Endpoints (all JSON in/out)::
+
+    POST /v1/compile   {workload, level, width, disable?, check_ir?}
+    POST /v1/run       {workload, level, width, seed?, check?, ...}
+    POST /v1/sweep     {workloads, levels?, widths?, ...} -> {job} (async)
+    GET  /v1/jobs/<id> job status + result once done
+    GET  /healthz      liveness
+    GET  /metrics      request counts, hit/miss ratio, queue depth,
+                       p50/p95 latency, shed count, store bytes
+
+``compile`` and ``run`` block until the result is ready (they ride the
+engine's single-flight/batching and per-request timeout); ``sweep``
+returns a job id immediately — poll ``/v1/jobs/<id>``.  Saturation is
+surfaced as ``429`` with ``Retry-After``; malformed requests as ``400``;
+failed compilations as ``500`` with the error string.
+
+No new dependencies: ``http.server`` + ``json`` only.  Not a hardened
+public-internet server — it is the in-lab traffic front of the
+compilation service (bind it to localhost).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from .jobs import JobEngine, Overloaded, RequestTimeout
+from .store import ArtifactStore
+
+#: request bodies larger than this are rejected outright (bad client)
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _req_fields(body: dict) -> dict:
+    """Validated common fields of a compile/run request."""
+    try:
+        out = {
+            "workload": str(body["workload"]),
+            "level": int(body.get("level", 4)),
+            "width": int(body.get("width", 8)),
+            "seed": int(body.get("seed", 0)),
+            "check": bool(body.get("check", True)),
+            "check_ir": bool(body.get("check_ir", False)),
+            "disable": tuple(body.get("disable", ())),
+            "timeout": (float(body["timeout"])
+                        if "timeout" in body else None),
+        }
+    except (KeyError, TypeError, ValueError) as e:
+        raise ServiceError(400, f"bad request: {e!r}") from None
+    if out["level"] not in range(5):
+        raise ServiceError(400, f"bad level {out['level']}")
+    if out["width"] not in (1, 2, 4, 8):
+        raise ServiceError(400, f"bad width {out['width']}")
+    return out
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    #: set by make_server
+    engine: JobEngine = None
+    quiet: bool = True
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # noqa: A003
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    def _send(self, status: int, payload: dict, headers: dict = ()) -> None:
+        data = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for k, v in dict(headers or {}).items():
+            self.send_header(k, v)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _body(self) -> dict:
+        n = int(self.headers.get("Content-Length", 0) or 0)
+        if n > MAX_BODY_BYTES:
+            raise ServiceError(400, "request body too large")
+        raw = self.rfile.read(n) if n else b"{}"
+        try:
+            body = json.loads(raw or b"{}")
+        except json.JSONDecodeError as e:
+            raise ServiceError(400, f"invalid JSON body: {e}") from None
+        if not isinstance(body, dict):
+            raise ServiceError(400, "JSON body must be an object")
+        return body
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802
+        try:
+            if self.path == "/healthz":
+                self._send(200, {"ok": True,
+                                 "queue_depth": self.engine.queue_depth})
+            elif self.path == "/metrics":
+                self._send(200, self.engine.metrics())
+            elif self.path.startswith("/v1/jobs/"):
+                jid = self.path[len("/v1/jobs/"):]
+                job = self.engine.job(jid)
+                if job is None:
+                    raise ServiceError(404, f"unknown job {jid!r}")
+                self._send(200, job.as_dict())
+            else:
+                raise ServiceError(404, f"no route {self.path!r}")
+        except ServiceError as e:
+            self._send(e.status, {"error": str(e)})
+
+    def do_POST(self):  # noqa: N802
+        try:
+            body = self._body()
+            if self.path in ("/v1/compile", "/v1/run"):
+                kind = self.path.rsplit("/", 1)[1]
+                f = _req_fields(body)
+                timeout = f.pop("timeout")
+                try:
+                    job = self.engine.submit(kind, **f, timeout=timeout)
+                except KeyError as e:
+                    raise ServiceError(400, f"unknown workload {e}") from None
+                result = self.engine.wait(job)
+                self._send(200, {"job": job.id, "cache": job.cache,
+                                 "result": result})
+            elif self.path == "/v1/sweep":
+                try:
+                    workloads = [str(w) for w in body["workloads"]]
+                    levels = [int(x) for x in body.get("levels",
+                                                       (0, 1, 2, 3, 4))]
+                    widths = [int(x) for x in body.get("widths",
+                                                       (1, 2, 4, 8))]
+                    seed = int(body.get("seed", 0))
+                    check = bool(body.get("check", True))
+                    timeout = (float(body["timeout"])
+                               if "timeout" in body else None)
+                except (KeyError, TypeError, ValueError) as e:
+                    raise ServiceError(400, f"bad request: {e!r}") from None
+                try:
+                    job = self.engine.submit_sweep(
+                        workloads, levels, widths, seed=seed, check=check,
+                        disable=tuple(body.get("disable", ())),
+                        timeout=timeout,
+                    )
+                except KeyError as e:
+                    raise ServiceError(400, f"unknown workload {e}") from None
+                self._send(202, {"job": job.id, "state": job.state,
+                                 "configs": job.request["configs"]})
+            else:
+                raise ServiceError(404, f"no route {self.path!r}")
+        except Overloaded as e:
+            self._send(429, {"error": str(e)}, {"Retry-After": "1"})
+        except RequestTimeout as e:
+            self._send(504, {"error": str(e)})
+        except ServiceError as e:
+            self._send(e.status, {"error": str(e)})
+        except Exception as e:  # compilation/simulation failure
+            self._send(500, {"error": repr(e)})
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    store_dir: str | Path | None = None,
+    jobs: int = 1,
+    max_pending: int = 64,
+    max_store_bytes: int | None = None,
+    default_timeout: float = 120.0,
+    quiet: bool = True,
+) -> tuple[ThreadingHTTPServer, JobEngine]:
+    """Build (but do not start) the service; port 0 picks a free port."""
+    store = (ArtifactStore(Path(store_dir), max_bytes=max_store_bytes)
+             if store_dir is not None else None)
+    engine = JobEngine(store=store, jobs=jobs, max_pending=max_pending,
+                       default_timeout=default_timeout)
+    handler = type("Handler", (_Handler,), {"engine": engine, "quiet": quiet})
+    httpd = ThreadingHTTPServer((host, port), handler)
+    httpd.daemon_threads = True
+    return httpd, engine
+
+
+def serve_background(**kwargs) -> tuple[ThreadingHTTPServer, JobEngine, str]:
+    """Start a server on a daemon thread; returns (server, engine, url).
+
+    Test/CI helper: ``examples/service_client.py --selftest`` and the
+    integration suite use it to run client and server in one process.
+    """
+    httpd, engine = make_server(**kwargs)
+    threading.Thread(target=httpd.serve_forever, daemon=True,
+                     name="repro-service-http").start()
+    host, port = httpd.server_address[:2]
+    return httpd, engine, f"http://{host}:{port}"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro serve", description="Run the compilation service."
+    )
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=8734)
+    ap.add_argument("--store", metavar="DIR",
+                    help="persistent artifact-store directory "
+                         "(default: serve without a store)")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="compile/simulate worker processes (default: 1)")
+    ap.add_argument("--max-pending", type=int, default=64, metavar="N",
+                    help="admission-control queue bound (default: 64)")
+    ap.add_argument("--max-store-bytes", type=int, default=None, metavar="B",
+                    help="LRU-evict the store past this size (default: off)")
+    ap.add_argument("--timeout", type=float, default=120.0,
+                    help="default per-request deadline in seconds")
+    ap.add_argument("--verbose", action="store_true",
+                    help="log every request")
+    args = ap.parse_args(argv)
+
+    httpd, engine = make_server(
+        host=args.host, port=args.port, store_dir=args.store,
+        jobs=args.jobs, max_pending=args.max_pending,
+        max_store_bytes=args.max_store_bytes,
+        default_timeout=args.timeout, quiet=not args.verbose,
+    )
+    host, port = httpd.server_address[:2]
+    store_note = f", store={args.store}" if args.store else ""
+    print(f"repro service on http://{host}:{port} "
+          f"({args.jobs} worker(s){store_note})", flush=True)
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.shutdown()
+        engine.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,234 @@
+"""Content-addressed on-disk artifact store.
+
+Blobs are JSON envelopes addressed by the SHA-256 request key of
+:mod:`repro.service.keys`, laid out git-style under the store root::
+
+    root/
+      objects/ab/abcdef....json     # envelope: salt, key, payload
+      quarantine/                   # corrupt blobs, moved aside
+      index.json                    # LRU bookkeeping (best-effort)
+
+Guarantees:
+
+* **Atomic writes** — a blob is written to a tmp file in the same
+  directory and ``os.replace``d into place, so readers (and concurrent
+  writers of the same key: last rename wins, both contents identical by
+  construction) never observe a torn blob at its final path.
+* **Corruption tolerance** — a blob that fails to parse, fails its
+  envelope check, or carries the wrong key is treated as a *miss* and
+  moved into ``quarantine/`` so it cannot poison later reads (and so a
+  corrupt file is preserved for inspection instead of being silently
+  clobbered by the recomputation).
+* **Version-salt invalidation** — every envelope records the
+  :data:`~repro.service.keys.CODE_VERSION` salt it was written under;
+  a mismatch is a miss and the stale blob is deleted.
+* **LRU size-capped eviction** — ``max_bytes`` caps the total blob
+  size; inserting past the cap evicts least-recently-*used* blobs
+  (reads refresh recency).  The index is best-effort: if it is lost or
+  torn, it is rebuilt by scanning ``objects/`` (recency degrades to
+  file mtime, correctness is unaffected).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .keys import CODE_VERSION, canonical_json
+
+
+@dataclass
+class StoreStats:
+    """Counters since this handle was opened (not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    quarantined: int = 0
+    invalidated: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _Entry:
+    size: int
+    used: float  # monotonic-ish recency stamp (wall clock is fine)
+
+
+@dataclass
+class ArtifactStore:
+    """One process's handle on a store directory.
+
+    Safe for concurrent use by multiple processes: blob writes are
+    atomic renames, reads tolerate missing/corrupt files, and the index
+    is advisory.  Not internally locked — callers in one process should
+    serialize access per handle (the job engine does).
+    """
+
+    root: Path
+    #: total blob-byte cap; None = unbounded
+    max_bytes: int | None = None
+    #: envelope salt; artifacts written under any other salt are stale
+    salt: str = CODE_VERSION
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self):
+        self.root = Path(self.root)
+        self._objects = self.root / "objects"
+        self._quarantine = self.root / "quarantine"
+        self._index_path = self.root / "index.json"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        self._index: dict[str, _Entry] = {}
+        self._load_index()
+
+    # -- paths ----------------------------------------------------------
+
+    def _blob_path(self, key: str) -> Path:
+        if len(key) != 64 or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed store key {key!r}")
+        return self._objects / key[:2] / f"{key}.json"
+
+    # -- index ----------------------------------------------------------
+
+    def _load_index(self) -> None:
+        try:
+            raw = json.loads(self._index_path.read_text())
+            entries = {
+                k: _Entry(int(v["size"]), float(v["used"]))
+                for k, v in raw.get("entries", {}).items()
+            }
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            entries = None
+        if entries is None:
+            # rebuild from a directory scan; recency falls back to mtime
+            entries = {}
+            for p in self._objects.glob("??/*.json"):
+                try:
+                    st = p.stat()
+                except OSError:
+                    continue
+                entries[p.stem] = _Entry(st.st_size, st.st_mtime)
+        else:
+            # drop index entries whose blob vanished (another process
+            # evicted or quarantined it)
+            entries = {
+                k: e for k, e in entries.items() if self._blob_path(k).exists()
+            }
+        self._index = entries
+
+    def _save_index(self) -> None:
+        payload = {
+            "entries": {
+                k: {"size": e.size, "used": e.used}
+                for k, e in self._index.items()
+            }
+        }
+        tmp = self._index_path.with_name(f".index-{os.getpid()}.tmp")
+        try:
+            tmp.write_text(canonical_json(payload))
+            os.replace(tmp, self._index_path)
+        except OSError:
+            tmp.unlink(missing_ok=True)  # advisory only
+
+    # -- public API -----------------------------------------------------
+
+    def get(self, key: str):
+        """The stored payload for ``key``, or None on any kind of miss."""
+        path = self._blob_path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            self._index.pop(key, None)
+            return None
+        try:
+            # parse from raw bytes: a torn blob may not even be valid UTF-8
+            env = json.loads(raw)
+            if env["key"] != key or "payload" not in env:
+                raise ValueError("envelope mismatch")
+            env_salt = env["salt"]
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                TypeError, ValueError):
+            self._quarantine_blob(path)
+            self._index.pop(key, None)
+            self.stats.misses += 1
+            return None
+        if env_salt != self.salt:
+            # written by a different code version: stale, not corrupt
+            path.unlink(missing_ok=True)
+            self._index.pop(key, None)
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        e = self._index.get(key)
+        if e is None:
+            self._index[key] = _Entry(len(raw), time.time())
+        else:
+            e.used = time.time()
+        return env["payload"]
+
+    def put(self, key: str, payload) -> Path:
+        """Store a JSON-serializable payload under ``key`` atomically."""
+        path = self._blob_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # plain dumps, not canonical_json: blob *content* must round-trip
+        # with dict insertion order intact (e.g. a ConfigResult's
+        # t_passes map records pass execution order); only key
+        # derivation needs canonical form
+        data = json.dumps({"salt": self.salt, "key": key,
+                           "payload": payload})
+        tmp = path.with_name(f".{key[:16]}-{os.getpid()}.tmp")
+        tmp.write_text(data)
+        os.replace(tmp, path)
+        self._index[key] = _Entry(len(data.encode()), time.time())
+        self.stats.puts += 1
+        if self.max_bytes is not None:
+            self._evict_to(self.max_bytes, keep=key)
+        self._save_index()
+        return path
+
+    def contains(self, key: str) -> bool:
+        return self._blob_path(key).exists()
+
+    def total_bytes(self) -> int:
+        return sum(e.size for e in self._index.values())
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    # -- maintenance ----------------------------------------------------
+
+    def _quarantine_blob(self, path: Path) -> None:
+        self._quarantine.mkdir(parents=True, exist_ok=True)
+        dest = self._quarantine / f"{path.stem}-{os.getpid()}-{time.time_ns()}"
+        try:
+            os.replace(path, dest)
+        except OSError:
+            path.unlink(missing_ok=True)  # raced: someone else moved it
+        self.stats.quarantined += 1
+
+    def _evict_to(self, max_bytes: int, keep: str | None = None) -> None:
+        """Delete least-recently-used blobs until total size fits.
+
+        ``keep`` (the blob just written) is never evicted: a single
+        entry larger than the cap stays until something newer lands.
+        """
+        total = self.total_bytes()
+        if total <= max_bytes:
+            return
+        for key, e in sorted(self._index.items(), key=lambda kv: kv[1].used):
+            if key == keep:
+                continue
+            self._blob_path(key).unlink(missing_ok=True)
+            del self._index[key]
+            self.stats.evictions += 1
+            total -= e.size
+            if total <= max_bytes:
+                break

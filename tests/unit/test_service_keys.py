@@ -1,0 +1,127 @@
+"""Pinning tests for the canonical configuration identity.
+
+The sweep journal and the artifact store both derive "same
+configuration" from :mod:`repro.service.keys`; these tests pin the
+properties that make a content address trustworthy: stability across
+dict ordering and default-valued fields, and sensitivity to everything
+that changes compiled output.
+"""
+
+import pytest
+
+from repro.experiments.sweep import _journal_header
+from repro.machine import MachineConfig
+from repro.passes import PassOptions
+from repro.service.keys import (
+    CODE_VERSION,
+    canonical_json,
+    request_identity,
+    request_key,
+    sweep_header,
+    workload_fingerprint,
+)
+
+
+class TestCanonicalJson:
+    def test_dict_ordering_is_canonicalized(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_nested_ordering(self):
+        x = {"m": {"z": 1, "y": {"q": 3, "p": 4}}}
+        y = {"m": {"y": {"p": 4, "q": 3}, "z": 1}}
+        assert canonical_json(x) == canonical_json(y)
+
+    def test_no_whitespace(self):
+        assert " " not in canonical_json({"a": [1, 2], "b": {"c": 3}})
+
+
+class TestRequestKeyStability:
+    def test_defaults_explicit_or_omitted_same_key(self):
+        """Passing every default explicitly must not change the key."""
+        implicit = request_key("run", "dotprod", 4, 8)
+        explicit = request_key(
+            "run", "dotprod", 4, 8, seed=0, check=True, check_ir=False,
+            disable=(), machine=MachineConfig(issue_width=8),
+        )
+        assert implicit == explicit
+
+    def test_disable_order_and_duplicates_normalized(self):
+        a = request_key("run", "add", 3, 4, disable=("combine", "strength"))
+        b = request_key("run", "add", 3, 4, disable=("strength", "combine"))
+        c = request_key("run", "add", 3, 4,
+                        disable=("combine", "strength", "combine"))
+        assert a == b == c
+
+    def test_key_is_deterministic_across_calls(self):
+        assert request_key("run", "sum", 2, 1) == request_key("run", "sum", 2, 1)
+
+    def test_fingerprint_shortcut_matches(self):
+        fp = workload_fingerprint("dotprod")
+        assert (request_key("run", "dotprod", 4, 8, fingerprint=fp)
+                == request_key("run", "dotprod", 4, 8))
+
+    def test_every_field_is_load_bearing(self):
+        base = request_key("run", "dotprod", 4, 8)
+        assert request_key("compile", "dotprod", 4, 8) != base
+        assert request_key("run", "add", 4, 8) != base
+        assert request_key("run", "dotprod", 3, 8) != base
+        assert request_key("run", "dotprod", 4, 4) != base
+        assert request_key("run", "dotprod", 4, 8, seed=1) != base
+        assert request_key("run", "dotprod", 4, 8, check=False) != base
+        assert request_key("run", "dotprod", 4, 8, check_ir=True) != base
+        assert request_key("run", "dotprod", 4, 8, disable=("combine",)) != base
+
+    def test_machine_latencies_are_load_bearing(self):
+        from repro.ir.instructions import Kind
+
+        m = MachineConfig(issue_width=8)
+        slow = MachineConfig(issue_width=8,
+                             latencies={**m.latencies, Kind.FP_MUL: 5})
+        assert (request_key("run", "dotprod", 4, 8, machine=slow)
+                != request_key("run", "dotprod", 4, 8, machine=m))
+
+    def test_machine_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="issue_width"):
+            request_key("run", "dotprod", 4, 8,
+                        machine=MachineConfig(issue_width=4))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            request_key("frobnicate", "dotprod", 4, 8)
+
+    def test_identity_has_every_field_present(self):
+        """Defaults are filled in, never omitted — adding a new field
+        with a default later cannot silently alias old and new keys."""
+        ident = request_identity("run", "dotprod", 4, 8)
+        assert set(ident) == {"kind", "workload", "level", "width", "seed",
+                              "check", "check_ir", "disable", "machine"}
+        assert set(ident["machine"]) == {
+            "issue_width", "branch_slots", "latencies", "slot_limits",
+            "speculative_loads", "speculative_fp",
+        }
+
+
+class TestWorkloadFingerprint:
+    def test_stable_and_distinct(self):
+        assert workload_fingerprint("add") == workload_fingerprint("add")
+        assert workload_fingerprint("add") != workload_fingerprint("sum")
+        assert len(workload_fingerprint("add")) == 64
+
+
+class TestSweepHeaderSharing:
+    def test_journal_header_is_the_shared_identity(self):
+        """The journal header is exactly keys.sweep_header plus the
+        journal schema version — one definition of 'same sweep'."""
+        opts = PassOptions(disable=("strength", "combine"))
+        h = _journal_header(seed=3, check=True, check_ir=True, options=opts)
+        shared = sweep_header(3, True, True, ("strength", "combine"))
+        assert {k: v for k, v in h.items() if k != "version"} == shared
+        assert shared["salt"] == CODE_VERSION
+        assert shared["disable"] == ["combine", "strength"]
+
+    def test_header_defaults_match_explicit(self):
+        assert sweep_header(0, True) == sweep_header(0, True, False, ())
+
+    def test_code_version_in_header(self):
+        """Bumping CODE_VERSION must invalidate old journals."""
+        assert _journal_header(0, True)["salt"] == CODE_VERSION

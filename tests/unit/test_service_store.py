@@ -1,0 +1,208 @@
+"""Failure-mode tests for the content-addressed artifact store.
+
+A persistent cache layer is only safe if every way it can rot degrades
+to a *miss* (recompute) rather than serving garbage: concurrent
+writers, torn blobs, size-pressure eviction, and code-version changes
+are each pinned here.
+"""
+
+import hashlib
+import json
+import multiprocessing
+
+import pytest
+
+from repro.service.keys import request_key
+from repro.service.store import ArtifactStore
+
+
+def key_of(n: int) -> str:
+    return hashlib.sha256(str(n).encode()).hexdigest()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestRoundTrip:
+    def test_put_get(self, store):
+        k = key_of(1)
+        store.put(k, {"cycles": 42, "t_passes": {"b": 1.0, "a": 2.0}})
+        got = store.get(k)
+        assert got == {"cycles": 42, "t_passes": {"b": 1.0, "a": 2.0}}
+        # insertion order round-trips (ConfigResult.t_passes records
+        # pass execution order)
+        assert list(got["t_passes"]) == ["b", "a"]
+        assert store.stats.hits == 1 and store.stats.puts == 1
+
+    def test_absent_is_miss(self, store):
+        assert store.get(key_of(2)) is None
+        assert store.stats.misses == 1
+
+    def test_malformed_key_rejected(self, store):
+        with pytest.raises(ValueError, match="malformed"):
+            store.get("../../etc/passwd")
+        with pytest.raises(ValueError, match="malformed"):
+            store.put("abc", {})
+
+    def test_real_request_keys_address_blobs(self, store):
+        k = request_key("run", "add", 4, 8)
+        store.put(k, {"cycles": 1})
+        assert store.get(k) == {"cycles": 1}
+
+    def test_reopen_sees_existing_blobs(self, tmp_path):
+        a = ArtifactStore(tmp_path / "s")
+        a.put(key_of(3), {"x": 1})
+        b = ArtifactStore(tmp_path / "s")
+        assert b.get(key_of(3)) == {"x": 1}
+        assert len(b) == 1
+
+
+class TestCorruptionTolerance:
+    def _blob_path(self, store, key):
+        return store._blob_path(key)
+
+    def test_truncated_blob_is_miss_and_quarantined(self, store):
+        k = key_of(4)
+        p = store.put(k, {"cycles": 9})
+        raw = p.read_bytes()
+        p.write_bytes(raw[: len(raw) // 2])  # torn mid-write
+        assert store.get(k) is None
+        assert store.stats.quarantined == 1
+        assert not p.exists()  # moved aside, cannot poison later reads
+        assert list((store.root / "quarantine").iterdir())
+        # and a recompute can re-populate the same key
+        store.put(k, {"cycles": 9})
+        assert store.get(k) == {"cycles": 9}
+
+    def test_garbage_bytes_are_miss(self, store):
+        k = key_of(5)
+        p = self._blob_path(store, k)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_bytes(b"\xfe\xffnot json")
+        assert store.get(k) is None
+        assert store.stats.quarantined == 1
+
+    def test_wrong_key_envelope_is_miss(self, store):
+        """A blob whose envelope names a different key (e.g. a file
+        copied to the wrong path) must not be served."""
+        k1, k2 = key_of(6), key_of(7)
+        p1 = store.put(k1, {"v": 1})
+        p2 = self._blob_path(store, k2)
+        p2.parent.mkdir(parents=True, exist_ok=True)
+        p2.write_bytes(p1.read_bytes())
+        assert store.get(k2) is None
+        assert store.get(k1) == {"v": 1}
+
+    def test_missing_payload_field_is_miss(self, store):
+        k = key_of(8)
+        p = self._blob_path(store, k)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(json.dumps({"salt": store.salt, "key": k}))
+        assert store.get(k) is None
+
+    def test_torn_index_rebuilt_from_scan(self, tmp_path):
+        a = ArtifactStore(tmp_path / "s")
+        a.put(key_of(9), {"v": 1})
+        a.put(key_of(10), {"v": 2})
+        (tmp_path / "s" / "index.json").write_text('{"entries": {zzz')
+        b = ArtifactStore(tmp_path / "s")
+        assert len(b) == 2
+        assert b.get(key_of(9)) == {"v": 1}
+
+
+class TestVersionSalt:
+    def test_salt_mismatch_is_miss_and_invalidates(self, tmp_path):
+        old = ArtifactStore(tmp_path / "s", salt="code-v1")
+        k = key_of(11)
+        p = old.put(k, {"cycles": 7})
+        new = ArtifactStore(tmp_path / "s", salt="code-v2")
+        assert new.get(k) is None
+        assert new.stats.invalidated == 1
+        assert not p.exists()  # stale blob deleted, not quarantined
+        assert new.stats.quarantined == 0
+        new.put(k, {"cycles": 8})
+        assert new.get(k) == {"cycles": 8}
+
+    def test_default_salt_is_code_version(self, store):
+        from repro.service.keys import CODE_VERSION
+
+        assert store.salt == CODE_VERSION
+
+
+class TestEviction:
+    def test_size_cap_evicts_lru(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s", max_bytes=1)
+        pad = "x" * 200
+        store.put(key_of(20), {"pad": pad})
+        store.put(key_of(21), {"pad": pad})
+        # cap of 1 byte: every insert evicts the previous entry
+        assert store.get(key_of(20)) is None
+        assert store.get(key_of(21)) == {"pad": pad}
+        assert store.stats.evictions >= 1
+
+    def test_reads_refresh_recency(self, tmp_path):
+        import time
+
+        # each blob is ~3.1KB with its envelope: two fit, three do not
+        store = ArtifactStore(tmp_path / "s", max_bytes=7_000)
+        pad = "x" * 3000
+        store.put(key_of(30), {"pad": pad})
+        time.sleep(0.01)
+        store.put(key_of(31), {"pad": pad})
+        time.sleep(0.01)
+        assert store.get(key_of(30)) is not None  # 30 now most recent
+        time.sleep(0.01)
+        store.put(key_of(32), {"pad": pad})  # pushes size past the cap
+        assert store.get(key_of(31)) is None  # 31 was least recently used
+        assert store.get(key_of(30)) is not None
+        assert store.get(key_of(32)) is not None
+
+    def test_unbounded_store_never_evicts(self, store):
+        for i in range(40, 60):
+            store.put(key_of(i), {"i": i})
+        assert len(store) == 20
+        assert store.stats.evictions == 0
+        assert store.total_bytes() > 0
+
+
+def _writer(root, key, tag, n):
+    s = ArtifactStore(root)
+    for i in range(n):
+        s.put(key, {"tag": tag, "i": i, "cycles": 123})
+
+
+class TestConcurrentWriters:
+    def test_two_processes_same_key(self, tmp_path):
+        """Two processes hammering the same key: atomic tmp+rename means a
+        reader always sees one writer's complete blob, never a torn mix."""
+        root = tmp_path / "s"
+        ArtifactStore(root)  # create layout up front
+        k = key_of(70)
+        ctx = multiprocessing.get_context("fork")
+        ps = [ctx.Process(target=_writer, args=(root, k, tag, 25))
+              for tag in ("a", "b")]
+        for p in ps:
+            p.start()
+        for p in ps:
+            p.join()
+        assert all(p.exitcode == 0 for p in ps)
+        got = ArtifactStore(root).get(k)
+        assert got is not None and got["cycles"] == 123
+        assert got["tag"] in ("a", "b") and got["i"] == 24
+
+    def test_concurrent_distinct_keys_all_readable(self, tmp_path):
+        root = tmp_path / "s"
+        ArtifactStore(root)
+        ctx = multiprocessing.get_context("fork")
+        ps = [ctx.Process(target=_writer, args=(root, key_of(80 + j), str(j), 5))
+              for j in range(4)]
+        for p in ps:
+            p.start()
+        for p in ps:
+            p.join()
+        reader = ArtifactStore(root)
+        for j in range(4):
+            got = reader.get(key_of(80 + j))
+            assert got == {"tag": str(j), "i": 4, "cycles": 123}

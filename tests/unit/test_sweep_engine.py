@@ -211,3 +211,66 @@ class TestPartialCache:
         payload["version"] = CACHE_VERSION + 1
         p.write_text(json.dumps(payload))
         assert load_sweep(p, require_complete=False) is None
+
+
+class TestArtifactStoreLayer:
+    """The persistent (cross-process, cross-sweep) cache under `--store`."""
+
+    def _store(self, tmp_path):
+        from repro.service.store import ArtifactStore
+
+        return ArtifactStore(tmp_path / "store")
+
+    def test_warm_sweep_is_all_hits_and_byte_identical(self, tmp_path):
+        from dataclasses import asdict
+
+        store = self._store(tmp_path)
+        wls = [get_workload(n) for n in WORKLOADS]
+        cold = run_sweep(wls, LEVELS, WIDTHS, store=store)
+        n = len(WORKLOADS) * len(LEVELS) * len(WIDTHS)
+        assert cold.computed == n and cold.store_hits == 0
+
+        warm = run_sweep(wls, LEVELS, WIDTHS, store=store)
+        assert warm.computed == 0 and warm.store_hits == n
+        # byte-identical, not merely numerically equal: even the
+        # execution-ordered t_passes maps round-trip through the blobs
+        dump = lambda d: json.dumps(  # noqa: E731
+            [asdict(d.results[k]) for k in sorted(d.results)])
+        assert dump(warm) == dump(cold)
+
+    def test_store_fills_the_gap_the_journal_missed(self, tmp_path):
+        store = self._store(tmp_path)
+        wls = [get_workload(n) for n in WORKLOADS]
+        journal = tmp_path / "j.jsonl"
+        # journal knows two workloads; the store knows all three
+        run_sweep(wls, LEVELS, WIDTHS, store=store)
+        run_sweep(wls[:2], LEVELS, WIDTHS, journal=journal)
+        both = run_sweep(wls, LEVELS, WIDTHS, journal=journal, store=store)
+        per_wl = len(LEVELS) * len(WIDTHS)
+        assert both.reused == 2 * per_wl       # from the journal
+        assert both.store_hits == per_wl       # only maxval from the store
+        assert both.computed == 0
+
+    def test_corrupt_blob_recomputed_not_served(self, tmp_path):
+        store = self._store(tmp_path)
+        wls = [get_workload("add")]
+        run_sweep(wls, LEVELS, WIDTHS, store=store)
+        for p in (store.root / "objects").glob("??/*.json"):
+            p.write_bytes(p.read_bytes()[:40])  # tear every blob
+        again = run_sweep(wls, LEVELS, WIDTHS, store=store)
+        assert again.store_hits == 0
+        assert again.computed == len(LEVELS) * len(WIDTHS)
+        assert store.stats.quarantined > 0
+
+    def test_foreign_schema_blob_recomputed(self, tmp_path):
+        """A blob that parses but is not a ConfigResult (e.g. written by a
+        different tool under the same key) is skipped, not crashed on."""
+        from repro.service.keys import request_key, workload_fingerprint
+
+        store = self._store(tmp_path)
+        k = request_key("result", "add", int(LEVELS[1]), WIDTHS[0],
+                        fingerprint=workload_fingerprint("add"))
+        store.put(k, {"not": "a ConfigResult"})
+        out = run_sweep([get_workload("add")], LEVELS, WIDTHS, store=store)
+        assert out.store_hits == 0
+        assert out.computed == len(LEVELS) * len(WIDTHS)
