@@ -1,0 +1,105 @@
+"""CI chaos smoke: SIGKILL a live worker process mid-sweep and require
+the sweep to finish anyway, with the kill visible in the resilience
+counters.
+
+Unlike the in-process fault plans (tests/integration/test_chaos.py),
+this drives a real ``repro sweep --jobs 2`` subprocess and kills one of
+its fork-pool children from the outside — the supervisor must notice
+the corpse, respawn a worker, and re-dispatch the lost cell.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+#: every task sleeps 1s on its first attempt (worker.slow), stretching a
+#: sub-second sweep into a several-second one so the external SIGKILL
+#: below reliably lands while a worker holds a task.  Re-dispatched
+#: attempts run at full speed (fires=1).
+SLOW_PLAN = {"seed": 0, "sites": [
+    {"site": "worker.slow", "rate": 1.0, "fires": 1, "delay_s": 1.0},
+]}
+
+
+def child_pids(pid: int) -> list[int]:
+    """Direct children of ``pid`` via /proc (Linux CI runners)."""
+    kids = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/stat") as f:
+                fields = f.read().rsplit(")", 1)[1].split()
+            if int(fields[1]) == pid:  # field 4 overall = ppid
+                kids.append(int(entry))
+        except (OSError, IndexError, ValueError):
+            continue
+    return kids
+
+
+def main() -> int:
+    env = dict(os.environ, PYTHONPATH=os.path.join(ROOT, "src"))
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+        json.dump(SLOW_PLAN, f)
+        plan_path = f.name
+    cmd = [sys.executable, "-m", "repro", "sweep",
+           "--workloads", "add,sum,dotprod", "--jobs", "2",
+           "--fault-plan", plan_path]
+    print("+", " ".join(cmd), flush=True)
+    proc = subprocess.Popen(cmd, env=env, cwd=ROOT,
+                            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                            text=True)
+
+    # wait for the fork pool to exist and pick up work, then shoot one
+    victim = None
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline and proc.poll() is None:
+        kids = child_pids(proc.pid)
+        if kids:
+            time.sleep(0.5)  # let it get a task in flight
+            kids = child_pids(proc.pid)
+            if kids:
+                victim = kids[0]
+                break
+        time.sleep(0.05)
+    if victim is None:
+        out, _ = proc.communicate(timeout=60)
+        print(out)
+        print("FAIL: no worker child appeared (sweep too fast or dead)")
+        return 1
+    print(f"SIGKILL worker pid {victim}", flush=True)
+    os.kill(victim, signal.SIGKILL)
+
+    out, _ = proc.communicate(timeout=600)
+    print(out)
+    if proc.returncode != 0:
+        print(f"FAIL: sweep exited {proc.returncode} after the worker kill")
+        return 1
+
+    # the summary line must show the kill was absorbed, not ignored
+    resilience = [ln for ln in out.splitlines() if ln.startswith("resilience:")]
+    if not resilience:
+        print("FAIL: no resilience summary in sweep output")
+        return 1
+    line = resilience[0]
+    restarts = int(line.split("worker restarts")[0].split(",")[-1].strip())
+    redispatched = int(line.split("redispatched")[0].split(":")[-1].strip())
+    if restarts < 1:
+        print(f"FAIL: expected >=1 worker restart, got: {line}")
+        return 1
+    if redispatched < 1:
+        print(f"FAIL: expected >=1 redispatched task, got: {line}")
+        return 1
+    print(f"OK: sweep completed; {redispatched} redispatched, "
+          f"{restarts} worker restart(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

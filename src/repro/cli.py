@@ -14,6 +14,8 @@
     python -m repro mii dotprod                  # software-pipelining bounds
     python -m repro check                        # differential oracle, all 40
     python -m repro check --fuzz 50              # + seeded random loop nests
+    python -m repro chaos --plan kill --jobs 2   # fault-injection suite
+    python -m repro sweep --workloads add --jobs 2 --fault-plan plan.json
 
 ``--check`` on compile/run/sweep runs the IR invariant verifier between
 every compiler pass (def-before-use on all paths, operand classes and
@@ -156,6 +158,14 @@ def cmd_run(args) -> int:
 
 def cmd_sweep(args) -> int:
     options = _pass_options(args)
+    if args.fault_plan:
+        # arm before any worker pool forks (fault-plan inheritance)
+        from .resilience import faults
+        from .resilience.faults import FaultPlan
+
+        plan = FaultPlan.from_file(args.fault_plan)
+        faults.arm(plan)
+        print(plan.describe())
     store = None
     if args.store:
         from pathlib import Path as _Path
@@ -182,6 +192,12 @@ def cmd_sweep(args) -> int:
         print(f"{data.computed} computed, {data.reused} resumed, "
               f"{data.store_hits} from store "
               f"in {data.elapsed:.1f}s ({args.jobs} jobs)")
+        if data.resilience:
+            rz = data.resilience
+            print(f"resilience: {rz.get('redispatched', 0)} redispatched, "
+                  f"{rz.get('retries', 0)} retried, "
+                  f"{rz.get('deadline_kills', 0)} deadline kills, "
+                  f"{rz.get('worker_restarts', 0)} worker restarts")
         return 0
 
     from .experiments.run_all import main as run_all_main
@@ -242,6 +258,13 @@ def cmd_serve(args) -> int:
     from .service.server import main as serve_main
 
     return serve_main(args.rest)
+
+
+def cmd_chaos(args) -> int:
+    """Fault-injection suite (see repro.resilience.chaos)."""
+    from .resilience.chaos import main as chaos_main
+
+    return chaos_main(args.rest)
 
 
 def cmd_submit(args) -> int:
@@ -361,6 +384,9 @@ def main(argv=None) -> int:
                         "reuse configurations across sweeps/processes and "
                         "write back everything computed here")
     p.add_argument("--check", action="store_true", help=check_help)
+    p.add_argument("--fault-plan", metavar="FILE",
+                   help="arm a fault-injection plan from a JSON file "
+                        "(chaos testing only; see `python -m repro chaos`)")
     add_pipeline_flags(p)
 
     # remaining arguments are forwarded verbatim to
@@ -374,6 +400,13 @@ def main(argv=None) -> int:
     sub.add_parser("serve", add_help=False,
                    help="run the compilation service (HTTP server over "
                         "the artifact store + async job engine)")
+
+    # remaining arguments are forwarded verbatim to
+    # repro.resilience.chaos (try `python -m repro chaos --help`)
+    sub.add_parser("chaos", add_help=False,
+                   help="fault-injection suite: crash/hang workers, corrupt "
+                        "store writes, drop HTTP responses; verify identical "
+                        "results and full fault accounting")
 
     p = sub.add_parser("submit",
                        help="submit one request to a running service")
@@ -415,7 +448,7 @@ def main(argv=None) -> int:
     p.add_argument("--verbose", action="store_true")
 
     args, extra = ap.parse_known_args(argv)
-    if args.cmd in ("ablate", "serve"):
+    if args.cmd in ("ablate", "serve", "chaos"):
         args.rest = extra
     elif extra:
         ap.error(f"unrecognized arguments: {' '.join(extra)}")
@@ -423,7 +456,7 @@ def main(argv=None) -> int:
         "list": cmd_list, "show": cmd_show, "passes": cmd_passes,
         "compile": cmd_compile, "run": cmd_run, "sweep": cmd_sweep,
         "ablate": cmd_ablate, "serve": cmd_serve, "submit": cmd_submit,
-        "mii": cmd_mii, "check": cmd_check,
+        "mii": cmd_mii, "check": cmd_check, "chaos": cmd_chaos,
     }[args.cmd](args)
 
 

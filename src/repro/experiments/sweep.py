@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -56,8 +57,18 @@ from ..machine import MachineConfig
 from ..passes import PassOptions
 from ..pipeline import Level
 from ..regalloc import measure_register_usage
+from ..resilience.errors import clean_orphan_tmps
+from ..resilience.supervisor import (
+    CellQuarantined,
+    SupervisedPool,
+    TaskFailed,
+)
 from ..service.keys import request_key, sweep_header, workload_fingerprint
 from ..workloads import Workload, all_workloads, check_run, get_workload
+
+
+class SweepError(RuntimeError):
+    """One or more grid cells failed permanently (details in ``args``)."""
 
 WIDTHS = (1, 2, 4, 8)
 #: 4 added per-phase timing fields and partial-grid journals; version-3
@@ -107,6 +118,12 @@ class SweepData:
     journal_skipped: int = 0
     #: configurations served from the persistent artifact store
     store_hits: int = 0
+    #: supervised-pool counters (redispatched, retries, deadline_kills,
+    #: worker_restarts, ...) from a ``jobs > 1`` run; empty when serial
+    resilience: dict = field(default_factory=dict)
+    #: (cell, error) pairs for cells that failed permanently (only
+    #: populated with ``strict=False``; strict sweeps raise instead)
+    failed: list = field(default_factory=list)
 
     def get(self, name: str, level: Level, width: int) -> ConfigResult:
         return self.results[(name, int(level), width)]
@@ -327,6 +344,44 @@ def _fork_pool(jobs: int) -> ProcessPoolExecutor:
     )
 
 
+def _run_supervised(tasks, record, data: SweepData, jobs: int,
+                    deadline_s: float | None, fingerprints: dict[str, str],
+                    seed: int, check: bool, check_ir: bool,
+                    disable: tuple) -> None:
+    """Fan tasks out over the supervised pool: crashed/hung workers are
+    replaced and their tasks re-dispatched; a permanently failing cell is
+    recorded in ``data.failed`` instead of aborting the grid.  Tasks are
+    keyed by canonical request key so a re-dispatched task's late
+    duplicate can never double-count a configuration."""
+    from concurrent.futures import as_completed
+
+    def fingerprint(name: str) -> str:
+        fp = fingerprints.get(name)
+        if fp is None:
+            fp = fingerprints[name] = workload_fingerprint(name)
+        return fp
+
+    with SupervisedPool(jobs, deadline_s=deadline_s) as pool:
+        futures = {}
+        for task in tasks:
+            name, level_int, widths_t = task[0], task[1], task[2]
+            key = request_key(
+                "result", name, level_int, widths_t[0], seed=seed,
+                check=check, check_ir=check_ir, disable=disable,
+                fingerprint=fingerprint(name),
+            )
+            fut = pool.submit(_run_task, task, key=key,
+                              cell=(name, level_int))
+            futures[fut] = (name, level_int)
+        for fut in as_completed(futures):
+            cell = futures[fut]
+            try:
+                record(fut.result())
+            except (CellQuarantined, TaskFailed) as e:
+                data.failed.append((cell, repr(e)))
+        data.resilience = dict(pool.counters)
+
+
 def run_sweep(
     workloads: list[Workload] | None = None,
     levels: tuple[Level, ...] = tuple(Level),
@@ -340,6 +395,9 @@ def run_sweep(
     check_ir: bool = False,
     options: PassOptions | None = None,
     store=None,
+    supervise: bool = True,
+    deadline_s: float | None = None,
+    strict: bool = True,
 ) -> SweepData:
     """Run the evaluation grid.
 
@@ -358,6 +416,16 @@ def run_sweep(
     is already stored are reloaded instead of computed, and every
     computed configuration is written back, so a second sweep against
     the same store is near-free.
+
+    ``supervise`` (default) runs the parallel pool under the resilience
+    layer's :class:`~repro.resilience.supervisor.SupervisedPool`: a
+    worker lost to a crash or a hang (past ``deadline_s``) is replaced
+    and its task re-dispatched, deduplicated by canonical request key,
+    instead of killing the whole sweep; counters land in
+    ``SweepData.resilience``.  A cell that fails permanently (retries
+    exhausted or circuit breaker open) raises :class:`SweepError` after
+    the rest of the grid finishes — or, with ``strict=False``, is
+    recorded in ``SweepData.failed`` and the sweep returns partial.
     """
     workloads = workloads or all_workloads()
     data = SweepData()
@@ -430,6 +498,10 @@ def run_sweep(
     jf = None
     if journal is not None and tasks:
         journal.parent.mkdir(parents=True, exist_ok=True)
+        # a writer that died between tmp-write and rename strands a tmp
+        # file next to the journal/cache forever; sweep startup is the
+        # janitor (grace-period guarded — a fresh tmp may be live)
+        clean_orphan_tmps(journal.parent, recursive=False)
         fresh = not (resume and data.results)
         torn_tail = (not fresh and journal.exists()
                      and not journal.read_bytes().endswith(b"\n"))
@@ -463,15 +535,27 @@ def run_sweep(
 
     try:
         if jobs > 1 and len(tasks) > 1:
-            with _fork_pool(jobs) as pool:
-                for rs in pool.map(_run_task, tasks):
-                    record(rs)
+            if supervise:
+                _run_supervised(tasks, record, data, jobs, deadline_s,
+                                fingerprints, seed, check, check_ir, disable)
+            else:
+                with _fork_pool(jobs) as pool:
+                    for rs in pool.map(_run_task, tasks):
+                        record(rs)
         else:
             for task in tasks:
                 record(_run_task(task))
     finally:
         if jf is not None:
             jf.close()
+
+    if data.failed:
+        print(f"  sweep: {len(data.failed)} cell(s) failed permanently: "
+              + ", ".join(f"{c[0]}/L{c[1]}" for c, _ in data.failed),
+              file=sys.stderr)
+        if strict:
+            raise SweepError(
+                f"{len(data.failed)} cell(s) failed permanently", data.failed)
 
     # deterministic merge: identical key order no matter which process
     # finished first or how much came from the journal
@@ -501,7 +585,11 @@ def save_sweep(data: SweepData, path: Path | None = None) -> Path:
         "elapsed": data.elapsed,
         "results": [asdict(r) for r in data.results.values()],
     }
-    path.write_text(json.dumps(payload))
+    # atomic: a reader (or a crash) mid-save must never observe a torn
+    # cache; orphaned tmps from dead writers are cleaned at sweep start
+    tmp = path.with_name(f".{path.name}-{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
     return path
 
 

@@ -9,27 +9,42 @@
     data = c.wait_job(job)                        # poll until done
     c.metrics()["hits"]
 
-Errors are raised as :class:`ServiceUnavailable` (connection refused),
-:class:`ServiceOverloaded` (HTTP 429 — back off and retry), or
-:class:`ServiceRequestError` (anything else non-2xx, with the server's
-error string).  Used by ``repro submit``, ``experiments/sweep.py``
+Errors are raised as :class:`ServiceUnavailable` (connection refused or
+dropped), :class:`ServiceOverloaded` (HTTP 429 — back off and retry),
+or :class:`ServiceRequestError` (anything else non-2xx, with the
+server's error string).  Transport failures and 503 (quarantined cell)
+are retried under the shared :class:`~repro.resilience.retry.RetryPolicy`
+— safe because every request is idempotent by canonical key; 429 is
+retried only when ``retry_overloaded=True`` (by default shedding is a
+signal the caller should see).  ``Retry-After`` headers override the
+computed backoff.  Used by ``repro submit``, ``experiments/sweep.py``
 clients, and ``examples/service_client.py``.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
 
+from ..resilience.retry import RetryPolicy, RetryState
+
+#: default transport retry schedule (connection drops, 503)
+CLIENT_RETRY = RetryPolicy(max_attempts=5, base_s=0.05, cap_s=2.0,
+                           budget_s=30.0)
+
 
 class ServiceRequestError(RuntimeError):
     """Non-2xx response from the service."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        #: server-suggested backoff (``Retry-After`` header), if any
+        self.retry_after = retry_after
 
 
 class ServiceOverloaded(ServiceRequestError):
@@ -41,13 +56,43 @@ class ServiceUnavailable(RuntimeError):
 
 
 class ServiceClient:
-    def __init__(self, base_url: str, timeout: float = 300.0):
+    def __init__(self, base_url: str, timeout: float = 300.0,
+                 retry: RetryPolicy | None = CLIENT_RETRY,
+                 retry_overloaded: bool = False):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        self.retry_overloaded = retry_overloaded
+        #: transport retries performed over this client's lifetime
+        self.retries = 0
 
     # -- transport ------------------------------------------------------
 
+    def _retryable(self, e: Exception) -> bool:
+        if isinstance(e, ServiceUnavailable):
+            return True
+        if isinstance(e, ServiceOverloaded):
+            return self.retry_overloaded
+        return isinstance(e, ServiceRequestError) and e.status == 503
+
     def _call(self, method: str, path: str, body: dict | None = None) -> dict:
+        if self.retry is None:
+            return self._call_once(method, path, body)
+        state = RetryState(self.retry)
+        while True:
+            try:
+                return self._call_once(method, path, body)
+            except (ServiceRequestError, ServiceUnavailable) as e:
+                if not self._retryable(e):
+                    raise
+                delay = state.next_delay(getattr(e, "retry_after", None))
+                if delay is None:
+                    raise
+                self.retries += 1
+                time.sleep(delay)
+
+    def _call_once(self, method: str, path: str,
+                   body: dict | None = None) -> dict:
         data = json.dumps(body).encode() if body is not None else None
         req = urllib.request.Request(
             self.base_url + path, data=data, method=method,
@@ -61,10 +106,18 @@ class ServiceClient:
                 message = json.loads(e.read() or b"{}").get("error", str(e))
             except json.JSONDecodeError:
                 message = str(e)
+            try:
+                retry_after = float(e.headers.get("Retry-After"))
+            except (TypeError, ValueError):
+                retry_after = None
             cls = ServiceOverloaded if e.code == 429 else ServiceRequestError
-            raise cls(e.code, message) from None
+            raise cls(e.code, message, retry_after) from None
         except urllib.error.URLError as e:
             raise ServiceUnavailable(f"{self.base_url}: {e.reason}") from None
+        except (http.client.HTTPException, OSError) as e:
+            # a dropped connection mid-response surfaces raw from
+            # http.client rather than wrapped in URLError
+            raise ServiceUnavailable(f"{self.base_url}: {e!r}") from None
 
     # -- endpoints ------------------------------------------------------
 

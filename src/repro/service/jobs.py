@@ -28,16 +28,29 @@ Request lifecycle::
   the cell before it fires is compiled once and scheduled per width —
   the same width-sharding the sweep engine uses
   (``TransformedKernel.clone``).
-* **Admission control** — at most ``max_pending`` accepted-but-
+* **Admission control, tiered** — at most ``max_pending`` accepted-but-
   unfinished configurations; past that, new requests are *shed*
-  (:class:`Overloaded`, surfaced as HTTP 429).  A sweep request is
-  admitted or shed atomically for all the configurations it expands to,
-  so one oversized sweep cannot wedge the queue.
+  (:class:`Overloaded`, surfaced as HTTP 429).  Shedding is tiered:
+  expensive sweep requests are shed earlier, at ``soft_pending``
+  (default 75% of ``max_pending``), keeping headroom so cheap single
+  requests survive a burst.  A sweep request is admitted or shed
+  atomically for all the configurations it expands to, so one oversized
+  sweep cannot wedge the queue.
 * **Timeouts** — each request carries a deadline
   (``default_timeout`` unless overridden); expiry fails *that waiter*
   with :class:`RequestTimeout` while the underlying computation is left
   to finish and populate the store (process-pool work is not
   cancellable mid-kernel).
+* **Supervised execution** — the fork pool runs under the resilience
+  layer's :class:`~repro.resilience.supervisor.SupervisedPool`: a
+  worker lost to a crash or hang is replaced and the cell re-dispatched
+  (deduplicated by canonical request key), and a cell that keeps
+  failing trips its circuit breaker — further requests for it fail
+  fast (:class:`~repro.resilience.supervisor.CellQuarantined`, HTTP
+  503) until the cooldown's half-open probe heals it.
+* **Degraded reads** — :meth:`JobEngine.degraded_lookup` serves a
+  result straight from the artifact store when admission sheds a
+  request; the server marks such responses ``"degraded": true``.
 """
 
 from __future__ import annotations
@@ -53,13 +66,15 @@ from typing import Optional
 
 import numpy as np
 
-from ..experiments.sweep import _conv_cached, _fork_pool, _inputs_cached
+from ..experiments.sweep import _conv_cached, _inputs_cached
 from ..harness import ilp_transform, run_compiled_kernel, schedule_kernel
 from ..ir.printer import format_block
 from ..machine import MachineConfig
 from ..passes import PassOptions
 from ..pipeline import Level
 from ..regalloc import measure_register_usage
+from ..resilience import faults
+from ..resilience.supervisor import CellQuarantined, SupervisedPool
 from ..workloads import check_run, get_workload
 from .keys import request_key, workload_fingerprint
 from .store import ArtifactStore
@@ -187,16 +202,21 @@ class JobEngine:
         max_pending: int = 64,
         batch_window: float = 0.01,
         default_timeout: float = 120.0,
+        soft_pending: int | None = None,
     ):
         self.store = store
         self.max_pending = max_pending
+        #: sweep admission tier: sweeps shed here, singles at max_pending
+        self.soft_pending = (soft_pending if soft_pending is not None
+                             else max(1, (max_pending * 3) // 4))
         self.batch_window = batch_window
         self.default_timeout = default_timeout
-        self._pool = _fork_pool(jobs)
-        # fork the workers before the loop / HTTP threads exist: forking
-        # a many-threaded process risks inheriting held locks
-        for f in [self._pool.submit(int, 0) for _ in range(jobs)]:
-            f.result()
+        # the supervised pool forks its workers in its constructor —
+        # before the loop / HTTP threads exist, since forking a
+        # many-threaded process risks inheriting held locks.  The worker
+        # deadline mirrors the request deadline: a cell the request
+        # layer has given up on should not pin a worker forever.
+        self._pool = SupervisedPool(jobs, deadline_s=default_timeout)
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(target=self._loop.run_forever,
                                         name="repro-service-loop", daemon=True)
@@ -215,17 +235,21 @@ class JobEngine:
             "errors": 0, "sweeps": 0,
         }
         self._latencies: deque[float] = deque(maxlen=2048)
+        self._degraded_serves = 0
         self._closed = False
 
     # -- admission ------------------------------------------------------
 
-    def _admit(self, n: int) -> None:
+    def _admit(self, n: int, kind: str = "single") -> None:
+        # tiered shedding: a sweep (n configurations at once) is shed at
+        # the soft tier, keeping headroom for cheap single requests
+        limit = self.soft_pending if kind == "sweep" else self.max_pending
         with self._lock:
-            if self._pending + n > self.max_pending:
+            if self._pending + n > limit:
                 self.counters["shed"] += 1
                 raise Overloaded(
                     f"queue full: {self._pending} pending + {n} requested "
-                    f"> {self.max_pending} capacity"
+                    f"> {limit} {kind} capacity"
                 )
             self._pending += n
 
@@ -279,7 +303,7 @@ class JobEngine:
                    "widths": list(widths), "seed": int(seed),
                    "check": bool(check), "check_ir": bool(check_ir),
                    "disable": sorted(set(disable)), "configs": n}
-        self._admit(n)
+        self._admit(n, "sweep")
         self.counters["requests"] += 1
         self.counters["sweeps"] += 1
         job = self._new_job("sweep", request)
@@ -433,8 +457,13 @@ class JobEngine:
                 cell.check_ir, cell.disable)
         self.counters["batched_cells"] += 1
         try:
-            payloads = await self._loop.run_in_executor(
-                self._pool, compute_cell, task
+            # the cell's canonical identity is its lowest-width request
+            # key: the supervisor dedups re-dispatches by it, and the
+            # breaker quarantines on the (workload, level) coordinate
+            cell_key = cell.waiters[widths[0]][0]
+            payloads = await asyncio.wrap_future(
+                self._pool.submit(compute_cell, task,
+                                  key=cell_key, cell=(name, level))
             )
         except Exception as e:
             for _, fut in cell.waiters.values():
@@ -448,6 +477,42 @@ class JobEngine:
                 self.store.put(width_key, payload)
             if not fut.done():
                 fut.set_result(payload)
+
+    # -- graceful degradation ------------------------------------------
+
+    def degraded_lookup(self, kind: str, req: dict) -> dict | None:
+        """Serve a shed request straight from the artifact store.
+
+        Called by the server when admission control rejects a request:
+        a previously computed (possibly stale-version-adjacent) result
+        beats a 429 for read-mostly clients.  Returns None when nothing
+        is stored — the caller sheds for real.  The read is bounced onto
+        the engine loop because the store handle is not internally
+        locked.
+        """
+        if self.store is None or self._closed:
+            return None
+
+        key = request_key(
+            kind, req["workload"], req["level"], req["width"],
+            seed=req.get("seed", 0), check=req.get("check", True),
+            check_ir=req.get("check_ir", False),
+            disable=tuple(req.get("disable", ())),
+            fingerprint=workload_fingerprint(req["workload"]),
+        )
+
+        async def _read():
+            return self.store.get(key)
+
+        try:
+            cached = asyncio.run_coroutine_threadsafe(
+                _read(), self._loop).result(timeout=5.0)
+        except Exception:
+            return None
+        if cached is not None:
+            with self._lock:
+                self._degraded_serves += 1
+        return cached
 
     # -- metrics --------------------------------------------------------
 
@@ -472,7 +537,22 @@ class JobEngine:
                 "bytes": self.store.total_bytes(),
                 **self.store.stats.as_dict(),
             }
+        m["resilience"] = {
+            **self._pool.counters,
+            "breaker_trips": self._pool.breaker_trips,
+            "degraded_serves": self._degraded_serves,
+        }
+        if faults.ARMED is not None:
+            m["faults"] = {"injected": dict(faults.ARMED.injected)}
         return m
+
+    def health(self) -> dict:
+        """The /healthz payload: liveness plus watchdog/breaker state."""
+        return {
+            "ok": True,
+            "queue_depth": self.queue_depth,
+            "pool": self._pool.status(),
+        }
 
     # -- shutdown -------------------------------------------------------
 
@@ -482,5 +562,5 @@ class JobEngine:
         self._closed = True
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=5)
-        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool.close()
         self._loop.close()

@@ -13,8 +13,19 @@ Endpoints (all JSON in/out)::
 ``compile`` and ``run`` block until the result is ready (they ride the
 engine's single-flight/batching and per-request timeout); ``sweep``
 returns a job id immediately — poll ``/v1/jobs/<id>``.  Saturation is
-surfaced as ``429`` with ``Retry-After``; malformed requests as ``400``;
-failed compilations as ``500`` with the error string.
+surfaced as ``429`` with ``Retry-After`` — unless the artifact store
+already holds the requested result, in which case it is served stale
+with ``"degraded": true`` (a previously computed answer beats a
+rejection for read-mostly clients).  A quarantined cell (open circuit
+breaker) is ``503``; malformed requests are ``400``; failed
+compilations ``500`` with the error string.  ``/healthz`` reports the
+supervised pool's watchdog view (worker liveness, heartbeat ages,
+breaker states) alongside the liveness bit.
+
+``--fault-plan FILE`` arms a :mod:`repro.resilience.faults` plan before
+the engine forks its workers — the chaos suite's entry point for
+injecting dropped/delayed responses, worker crashes, and store I/O
+errors into a live server.
 
 No new dependencies: ``http.server`` + ``json`` only.  Not a hardened
 public-internet server — it is the in-lab traffic front of the
@@ -26,9 +37,13 @@ from __future__ import annotations
 import argparse
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
+from ..resilience import faults
+from ..resilience.faults import FaultPlan
+from ..resilience.supervisor import CellQuarantined
 from .jobs import JobEngine, Overloaded, RequestTimeout
 from .store import ArtifactStore
 
@@ -40,6 +55,10 @@ class ServiceError(Exception):
     def __init__(self, status: int, message: str):
         super().__init__(message)
         self.status = status
+
+
+class _DroppedResponse(Exception):
+    """Injected ``server.drop_response``: abandon the connection."""
 
 
 def _req_fields(body: dict) -> dict:
@@ -78,6 +97,17 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     def _send(self, status: int, payload: dict, headers: dict = ()) -> None:
+        plan = faults.ARMED
+        if plan is not None and self.command == "POST":
+            # response-path fault sites; keyed by arrival order (HTTP
+            # responses have no natural content key)
+            if plan.fire("server.drop_response",
+                         plan.next_seq("server.drop_response")) is not None:
+                raise _DroppedResponse()
+            s = plan.fire("server.delay_response",
+                          plan.next_seq("server.delay_response"))
+            if s is not None:
+                time.sleep(s.delay_s)
         data = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -105,8 +135,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self):  # noqa: N802
         try:
             if self.path == "/healthz":
-                self._send(200, {"ok": True,
-                                 "queue_depth": self.engine.queue_depth})
+                self._send(200, self.engine.health())
             elif self.path == "/metrics":
                 self._send(200, self.engine.metrics())
             elif self.path.startswith("/v1/jobs/"):
@@ -122,6 +151,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self):  # noqa: N802
         try:
+            self._do_post()
+        except _DroppedResponse:
+            self.close_connection = True
+
+    def _do_post(self) -> None:
+        try:
             body = self._body()
             if self.path in ("/v1/compile", "/v1/run"):
                 kind = self.path.rsplit("/", 1)[1]
@@ -131,6 +166,14 @@ class _Handler(BaseHTTPRequestHandler):
                     job = self.engine.submit(kind, **f, timeout=timeout)
                 except KeyError as e:
                     raise ServiceError(400, f"unknown workload {e}") from None
+                except Overloaded:
+                    # graceful degradation: a stored result beats a 429
+                    stale = self.engine.degraded_lookup(kind, f)
+                    if stale is None:
+                        raise
+                    self._send(200, {"job": None, "cache": "degraded",
+                                     "degraded": True, "result": stale})
+                    return
                 result = self.engine.wait(job)
                 self._send(200, {"job": job.id, "cache": job.cache,
                                  "result": result})
@@ -159,8 +202,12 @@ class _Handler(BaseHTTPRequestHandler):
                                  "configs": job.request["configs"]})
             else:
                 raise ServiceError(404, f"no route {self.path!r}")
+        except _DroppedResponse:
+            raise  # handled by do_POST: abandon the connection
         except Overloaded as e:
             self._send(429, {"error": str(e)}, {"Retry-After": "1"})
+        except CellQuarantined as e:
+            self._send(503, {"error": str(e)}, {"Retry-After": "5"})
         except RequestTimeout as e:
             self._send(504, {"error": str(e)})
         except ServiceError as e:
@@ -220,9 +267,19 @@ def main(argv=None) -> int:
                     help="LRU-evict the store past this size (default: off)")
     ap.add_argument("--timeout", type=float, default=120.0,
                     help="default per-request deadline in seconds")
+    ap.add_argument("--fault-plan", metavar="FILE", default=None,
+                    help="arm a fault-injection plan from a JSON file "
+                         "(chaos testing only)")
     ap.add_argument("--verbose", action="store_true",
                     help="log every request")
     args = ap.parse_args(argv)
+
+    if args.fault_plan:
+        # arm before the engine forks its workers, so the plan is
+        # inherited by every worker process
+        plan = FaultPlan.from_file(args.fault_plan)
+        faults.arm(plan)
+        print(plan.describe(), flush=True)
 
     httpd, engine = make_server(
         host=args.host, port=args.port, store_dir=args.store,

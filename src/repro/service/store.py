@@ -27,17 +27,43 @@ Guarantees:
   (reads refresh recency).  The index is best-effort: if it is lost or
   torn, it is rebuilt by scanning ``objects/`` (recency degrades to
   file mtime, correctness is unaffected).
+* **Classified failure handling** — write and eviction I/O errors run
+  through the :mod:`repro.resilience.errors` taxonomy: transient ones
+  (``ENOSPC``, ``EIO``, ...) are retried under the shared
+  :class:`~repro.resilience.retry.RetryPolicy` and then *degrade* (the
+  result is served, just not persisted) instead of failing the caller;
+  only fatal ones (permissions, read-only fs) raise.  Orphaned
+  ``*.tmp`` files from writers that died between write and rename are
+  cleaned on open after a grace period.
+
+Fault sites (active only under an armed
+:class:`~repro.resilience.faults.FaultPlan`): ``store.torn_write``
+truncates a blob's bytes before the rename, ``store.enospc`` raises at
+the write, ``store.eio`` raises at the fsync.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..resilience import faults
+from ..resilience.errors import (
+    classify_os_error,
+    clean_orphan_tmps,
+    log_tolerated,
+)
+from ..resilience.retry import RetryPolicy, retry_call
 from .keys import CODE_VERSION, canonical_json
+
+#: write/rename retry schedule: brief, because a put that cannot land
+#: quickly should degrade (skip persistence) rather than stall serving
+PUT_RETRY = RetryPolicy(max_attempts=3, base_s=0.01, cap_s=0.1, budget_s=1.0)
 
 
 @dataclass
@@ -50,6 +76,13 @@ class StoreStats:
     evictions: int = 0
     quarantined: int = 0
     invalidated: int = 0
+    #: transient write failures retried / degraded to "not persisted"
+    put_retries: int = 0
+    put_failures: int = 0
+    #: eviction unlinks absorbed by the taxonomy (transient, logged)
+    evict_errors: int = 0
+    #: orphaned tmp files removed at open
+    tmp_cleaned: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -77,6 +110,10 @@ class ArtifactStore:
     #: envelope salt; artifacts written under any other salt are stale
     salt: str = CODE_VERSION
     stats: StoreStats = field(default_factory=StoreStats)
+    #: a tmp file older than this is an orphan (its writer is dead)
+    tmp_grace_s: float = 600.0
+    #: write/rename retry schedule for transient OSErrors
+    retry: RetryPolicy = PUT_RETRY
 
     def __post_init__(self):
         self.root = Path(self.root)
@@ -84,6 +121,10 @@ class ArtifactStore:
         self._quarantine = self.root / "quarantine"
         self._index_path = self.root / "index.json"
         self._objects.mkdir(parents=True, exist_ok=True)
+        self.stats.tmp_cleaned += clean_orphan_tmps(self.root, self.tmp_grace_s)
+        #: per-key write-attempt sequence, so injected write faults fire
+        #: on the first attempt and let the retry/recompute land clean
+        self._fault_seq: Counter = Counter()
         self._index: dict[str, _Entry] = {}
         self._load_index()
 
@@ -174,8 +215,14 @@ class ArtifactStore:
             e.used = time.time()
         return env["payload"]
 
-    def put(self, key: str, payload) -> Path:
-        """Store a JSON-serializable payload under ``key`` atomically."""
+    def put(self, key: str, payload) -> Path | None:
+        """Store a JSON-serializable payload under ``key`` atomically.
+
+        Transient write errors are retried under :attr:`retry`; if they
+        persist the put *degrades* — the blob is simply not stored (a
+        future read is a miss and recomputes) and ``None`` is returned.
+        Only fatal errors raise.
+        """
         path = self._blob_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # plain dumps, not canonical_json: blob *content* must round-trip
@@ -184,15 +231,51 @@ class ArtifactStore:
         # derivation needs canonical form
         data = json.dumps({"salt": self.salt, "key": key,
                            "payload": payload})
-        tmp = path.with_name(f".{key[:16]}-{os.getpid()}.tmp")
-        tmp.write_text(data)
-        os.replace(tmp, path)
+
+        def count_retry(attempt, delay, exc):
+            self.stats.put_retries += 1
+
+        try:
+            retry_call(lambda: self._write_blob(path, key, data),
+                       policy=self.retry, on_retry=count_retry)
+        except OSError as e:
+            if classify_os_error(e) == "fatal":
+                raise
+            self.stats.put_failures += 1
+            log_tolerated(f"store.put {key[:16]}", e)
+            return None
         self._index[key] = _Entry(len(data.encode()), time.time())
         self.stats.puts += 1
         if self.max_bytes is not None:
             self._evict_to(self.max_bytes, keep=key)
         self._save_index()
         return path
+
+    def _write_blob(self, path: Path, key: str, data: str) -> None:
+        """tmp-write + fsync + atomic rename, with the write fault sites."""
+        plan = faults.ARMED
+        attempt = 0
+        if plan is not None:
+            attempt = self._fault_seq[key]
+            self._fault_seq[key] += 1
+            if plan.fire("store.torn_write", key, attempt):
+                # a torn write is *silent*: the writer thinks it
+                # succeeded, and only a later read detects + quarantines
+                data = data[: max(1, len(data) // 2)]
+        tmp = path.with_name(f".{key[:16]}-{os.getpid()}.tmp")
+        try:
+            with open(tmp, "w") as f:
+                if plan is not None and plan.fire("store.enospc", key, attempt):
+                    raise OSError(errno.ENOSPC, "injected: no space left")
+                f.write(data)
+                f.flush()
+                if plan is not None and plan.fire("store.eio", key, attempt):
+                    raise OSError(errno.EIO, "injected: I/O error at fsync")
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
 
     def contains(self, key: str) -> bool:
         return self._blob_path(key).exists()
@@ -226,7 +309,17 @@ class ArtifactStore:
         for key, e in sorted(self._index.items(), key=lambda kv: kv[1].used):
             if key == keep:
                 continue
-            self._blob_path(key).unlink(missing_ok=True)
+            try:
+                self._blob_path(key).unlink(missing_ok=True)
+            except OSError as err:
+                # a blob we cannot unlink right now is not fatal to the
+                # cache: classify, log, count, and move on (a later
+                # eviction or the index rebuild will reconcile it)
+                if classify_os_error(err) == "fatal":
+                    raise
+                self.stats.evict_errors += 1
+                log_tolerated(f"store.evict {key[:16]}", err)
+                continue
             del self._index[key]
             self.stats.evictions += 1
             total -= e.size

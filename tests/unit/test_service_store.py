@@ -206,3 +206,92 @@ class TestConcurrentWriters:
         for j in range(4):
             got = reader.get(key_of(80 + j))
             assert got == {"tag": str(j), "i": 4, "cycles": 123}
+
+
+class TestStoreResilience:
+    """Classified write failures: retry, then degrade; never a wrong read."""
+
+    def _armed(self, site, fires=1):
+        from repro.resilience.faults import FaultPlan, FaultSite, armed
+
+        return armed(FaultPlan(seed=0,
+                               sites=(FaultSite(site, rate=1.0, fires=fires),)))
+
+    def test_enospc_is_retried_and_the_put_lands(self, store):
+        k = key_of(90)
+        with self._armed("store.enospc"):
+            assert store.put(k, {"v": 1}) is not None
+        assert store.stats.put_retries == 1
+        assert store.stats.put_failures == 0
+        assert store.get(k) == {"v": 1}
+
+    def test_eio_at_fsync_is_retried_and_the_put_lands(self, store):
+        k = key_of(91)
+        with self._armed("store.eio"):
+            assert store.put(k, {"v": 2}) is not None
+        assert store.stats.put_retries == 1
+        assert store.get(k) == {"v": 2}
+
+    def test_persistent_write_failure_degrades_instead_of_raising(self, store):
+        # fires exceeds the put retry schedule: the put gives up quietly
+        k = key_of(92)
+        with self._armed("store.enospc", fires=99):
+            assert store.put(k, {"v": 3}) is None
+        assert store.stats.put_failures == 1
+        assert store.get(k) is None          # a miss, not an error
+        # no tmp droppings left behind by the failed attempts
+        assert not list(store.root.glob("**/*.tmp"))
+
+    def test_torn_write_is_detected_quarantined_and_recomputable(self, store):
+        k = key_of(93)
+        with self._armed("store.torn_write"):
+            store.put(k, {"v": 4, "pad": "x" * 256})
+            assert store.get(k) is None      # torn: miss + quarantine
+            assert store.stats.quarantined == 1
+            # the "recompute" writes again: attempt 1 is past the fault
+            store.put(k, {"v": 4, "pad": "x" * 256})
+            assert store.get(k) == {"v": 4, "pad": "x" * 256}
+
+    def test_fatal_write_error_raises(self, store, monkeypatch):
+        import errno as _errno
+
+        def denied(self, *a, **kw):
+            raise OSError(_errno.EACCES, "permission denied")
+
+        monkeypatch.setattr(ArtifactStore, "_write_blob", denied)
+        with pytest.raises(OSError):
+            store.put(key_of(94), {"v": 5})
+
+    def test_transient_eviction_error_is_absorbed(self, store, monkeypatch):
+        import errno as _errno
+        import pathlib
+
+        store.max_bytes = 1  # force eviction on the next put
+        store.put(key_of(95), {"v": "a" * 64})
+        real_unlink = pathlib.Path.unlink
+
+        def busy(self, *a, **kw):
+            if self.suffix == ".json" and "objects" in self.parts:
+                raise OSError(_errno.EBUSY, "busy")
+            return real_unlink(self, *a, **kw)
+
+        monkeypatch.setattr(pathlib.Path, "unlink", busy)
+        store.put(key_of(96), {"v": "b" * 64})   # evicts -> EBUSY absorbed
+        assert store.stats.evict_errors >= 1
+
+    def test_orphaned_tmps_cleaned_on_open(self, tmp_path):
+        import os as _os
+
+        root = tmp_path / "store"
+        objects = root / "objects" / "ab"
+        objects.mkdir(parents=True)
+        dead = objects / ".abcd-999.tmp"
+        dead.write_text("torn half-write")
+        old = 1.0
+        _os.utime(dead, (old, old))
+        fresh = objects / ".ef01-998.tmp"
+        fresh.write_text("maybe live")
+        s = ArtifactStore(root)
+        assert s.stats.tmp_cleaned == 1
+        assert not dead.exists()
+        assert fresh.exists()
