@@ -49,7 +49,7 @@ class Divergence:
     workload: str
     level: str            # level label ("Conv".."Lev4"), or "-" pre-compile
     width: int
-    kind: str             # array | scalar | sim-vs-ref | compile-error | golden
+    kind: str  # array | scalar | sim-vs-ref | engine-vs-engine | compile-error | golden
     detail: str
 
     def __str__(self) -> str:
@@ -138,8 +138,15 @@ def check_workload(
     widths: tuple[int, ...] = DEFAULT_WIDTHS,
     seed: int = 0,
     check_ir: bool = True,
+    cross_engine: bool = False,
 ) -> tuple[int, list[Divergence]]:
-    """Differentially check one workload; returns (configs checked, divergences)."""
+    """Differentially check one workload; returns (configs checked, divergences).
+
+    ``cross_engine=True`` additionally runs every configuration under
+    *both* simulator engines — the interpreter and the block-compiled
+    trace/replay core — and requires bit-identical cycles, instruction
+    counts, and end states (kind ``engine-vs-engine`` on mismatch).
+    """
     divs: list[Divergence] = []
     arrays, scalars = w.make_inputs(seed)
     kernel = w.build()
@@ -214,6 +221,35 @@ def check_workload(
                 divs.append(
                     Divergence(w.name, level.label, width, "sim-vs-ref", sim_diff)
                 )
+
+            if cross_engine:
+                # both engines on identical code and inputs: timing and
+                # end state must match bit for bit
+                compiled = run_compiled_kernel(
+                    ck, arrays=arrays, scalars=scalars, engine="compiled"
+                )
+                interp = run_compiled_kernel(
+                    ck, arrays=arrays, scalars=scalars, engine="interp"
+                )
+                eng_diff = _diff_states(
+                    w, compiled.arrays, compiled.scalars,
+                    interp.arrays, interp.scalars, True,
+                )
+                if eng_diff is None:
+                    if compiled.cycles != interp.cycles:
+                        eng_diff = (f"cycles diverge: compiled "
+                                    f"{compiled.cycles} interp {interp.cycles}")
+                    elif compiled.instructions != interp.instructions:
+                        eng_diff = (
+                            f"instruction counts diverge: compiled "
+                            f"{compiled.instructions} interp "
+                            f"{interp.instructions}"
+                        )
+                if eng_diff is not None:
+                    divs.append(
+                        Divergence(w.name, level.label, width,
+                                   "engine-vs-engine", eng_diff)
+                    )
     return checked, divs
 
 
@@ -224,13 +260,16 @@ def run_oracle(
     seed: int = 0,
     check_ir: bool = True,
     verbose: bool = False,
+    cross_engine: bool = False,
 ) -> OracleReport:
     """Run the differential oracle over the corpus (default: all 40)."""
     workloads = workloads or all_workloads()
     report = OracleReport()
     t0 = time.time()
     for w in workloads:
-        checked, divs = check_workload(w, levels, widths, seed, check_ir)
+        checked, divs = check_workload(
+            w, levels, widths, seed, check_ir, cross_engine=cross_engine
+        )
         report.kernels_checked += 1
         report.configs_checked += checked
         report.divergences.extend(divs)

@@ -184,7 +184,7 @@ def cmd_sweep(args) -> int:
         journal = Path(args.journal) if args.journal else None
         data = run_sweep(wls, verbose=True, jobs=args.jobs, journal=journal,
                          resume=not args.force, check_ir=args.check,
-                         options=options, store=store)
+                         options=options, store=store, engine=args.engine)
         for (name, level, width), r in data.results.items():
             print(f"{name:<14}{Level(level).label:<6}issue-{width}: "
                   f"{r.cycles} cycles, {r.instructions} instrs, "
@@ -209,6 +209,8 @@ def cmd_sweep(args) -> int:
         argv.append("--check")
     if args.store:
         argv.extend(["--store", args.store])
+    if args.engine != "auto":
+        argv.extend(["--engine", args.engine])
     for name in (args.disable_pass or ()):
         argv.extend(["--disable-pass", name])
     return run_all_main(argv)
@@ -230,7 +232,8 @@ def cmd_check(args) -> int:
               f"x widths {list(widths)} "
               f"({'with' if not args.no_ir_check else 'without'} IR checks)")
         report = run_oracle(wls, widths=widths, seed=args.seed,
-                            check_ir=not args.no_ir_check, verbose=args.verbose)
+                            check_ir=not args.no_ir_check, verbose=args.verbose,
+                            cross_engine=args.cross_engine)
         print(report.summary())
         for d in report.divergences:
             print(f"  {d}")
@@ -384,6 +387,12 @@ def main(argv=None) -> int:
                         "reuse configurations across sweeps/processes and "
                         "write back everything computed here")
     p.add_argument("--check", action="store_true", help=check_help)
+    p.add_argument("--engine", choices=("auto", "compiled", "interp"),
+                   default="auto",
+                   help="simulator engine: 'compiled' = block-compiled "
+                        "execute-once/replay-per-width core, 'interp' = "
+                        "reference interpreter, 'auto' (default) = compiled "
+                        "with fallback; results are bit-identical either way")
     p.add_argument("--fault-plan", metavar="FILE",
                    help="arm a fault-injection plan from a JSON file "
                         "(chaos testing only; see `python -m repro chaos`)")
@@ -445,6 +454,10 @@ def main(argv=None) -> int:
                    help="skip the corpus oracle, only fuzz")
     p.add_argument("--no-ir-check", action="store_true",
                    help="skip the between-pass invariant verifier")
+    p.add_argument("--cross-engine", action="store_true",
+                   help="additionally run every configuration under both "
+                        "simulator engines (interpreter and block-compiled "
+                        "replay) and require bit-identical results")
     p.add_argument("--verbose", action="store_true")
 
     args, extra = ap.parse_known_args(argv)

@@ -47,6 +47,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from ..harness import (
+    BatchedRunner,
     ConvKernel,
     ilp_transform,
     lower_conv,
@@ -194,10 +195,12 @@ def _inputs_cached(w: Workload, seed: int) -> tuple[dict, dict]:
 
 def _measure(w: Workload, ck, arrays: dict, scalars: dict, check: bool,
              t_compile: float, t_sched: float,
-             t_passes: dict[str, float] | None = None) -> ConfigResult:
+             t_passes: dict[str, float] | None = None,
+             engine: str = "auto") -> ConfigResult:
     usage = measure_register_usage(ck.func, ck.lowered.live_out_exit)
     t0 = time.perf_counter()
-    run = run_compiled_kernel(ck, arrays=arrays, scalars=scalars)
+    run = run_compiled_kernel(ck, arrays=arrays, scalars=scalars,
+                              engine=engine)
     if check:
         check_run(w, run.arrays, run.scalars, arrays, scalars)
     t_sim = time.perf_counter() - t0
@@ -224,10 +227,14 @@ def _run_task(task: tuple) -> list[ConfigResult]:
     """Run one (workload, level) cell over the requested widths.
 
     The ILP transformation runs once on a clone of the cached stage-1
-    result; each width schedules and simulates its own clone of the
-    transformed code.
+    result; each width schedules its own clone of the transformed code.
+    With the compiled engine (the default), the cell then *executes*
+    once — the dynamic trace is width-independent — and each width's
+    cycle/instruction counts come from replaying that trace against its
+    own schedule (:class:`repro.harness.BatchedRunner`), bit-identical
+    to simulating every width in full.
     """
-    name, level_int, widths, seed, check, check_ir, options = task
+    name, level_int, widths, seed, check, check_ir, options, engine = task
     w = get_workload(name)
     level = Level(level_int)
 
@@ -238,18 +245,53 @@ def _run_task(task: tuple) -> list[ConfigResult]:
     t_transform = t_conv + (time.perf_counter() - t0)
 
     arrays, scalars = _inputs_cached(w, seed)
-    out: list[ConfigResult] = []
+    cks = []
+    t_scheds = []
     for i, width in enumerate(widths):
         machine = MachineConfig(issue_width=width)
         t0 = time.perf_counter()
         # the last width may consume tk itself: nothing reads it afterwards
         clone = tk.clone() if i + 1 < len(widths) else tk
-        ck = schedule_kernel(clone, machine, check=check_ir, options=options)
-        t_sched = time.perf_counter() - t0
-        out.append(_measure(
-            w, ck, arrays, scalars, check, t_transform, t_sched,
-            _charged_pass_seconds(ck, i == 0, t_conv > 0),
-        ))
+        cks.append(schedule_kernel(clone, machine, check=check_ir,
+                                   options=options))
+        t_scheds.append(time.perf_counter() - t0)
+
+    runner = None
+    t_exec = 0.0
+    if engine in ("auto", "compiled") and len(cks) > 1:
+        from ..sim import EngineUnsupported, ReplayUnsupported
+
+        t0 = time.perf_counter()
+        try:
+            runner = BatchedRunner(cks[0], arrays, scalars)
+        except (EngineUnsupported, ReplayUnsupported):
+            runner = None  # cell outside engine scope: simulate per width
+        t_exec = time.perf_counter() - t0
+
+    out: list[ConfigResult] = []
+    for i, ck in enumerate(cks):
+        if runner is None:
+            out.append(_measure(
+                w, ck, arrays, scalars, check, t_transform, t_scheds[i],
+                _charged_pass_seconds(ck, i == 0, t_conv > 0), engine=engine,
+            ))
+        else:
+            usage = measure_register_usage(ck.func, ck.lowered.live_out_exit)
+            t0 = time.perf_counter()
+            run = runner.run(ck)
+            # outputs are shared across widths, so one check covers the
+            # cell — except a width that fell back to a fresh full
+            # simulation, whose outputs are its own
+            if check and (i == 0 or runner.last_fallback):
+                check_run(w, run.arrays, run.scalars, arrays, scalars)
+            t_sim = (time.perf_counter() - t0) + (t_exec if i == 0 else 0.0)
+            out.append(ConfigResult(
+                w.name, int(ck.level), ck.machine.issue_width, run.cycles,
+                run.instructions, ck.inner_makespan, usage.int_regs,
+                usage.fp_regs, check, t_compile=t_transform,
+                t_schedule=t_scheds[i], t_simulate=t_sim,
+                t_passes=_charged_pass_seconds(ck, i == 0, t_conv > 0),
+            ))
         t_transform = 0.0  # shared cost charged to the first width only
     return out
 
@@ -257,7 +299,7 @@ def _run_task(task: tuple) -> list[ConfigResult]:
 def run_config(
     w: Workload, level: Level, machine: MachineConfig, seed: int = 0,
     check: bool = True, check_ir: bool = False,
-    options: PassOptions | None = None,
+    options: PassOptions | None = None, engine: str = "auto",
 ) -> ConfigResult:
     """Compile, simulate, and check a single configuration.
 
@@ -278,7 +320,8 @@ def run_config(
     t_sched = time.perf_counter() - t0
     arrays, scalars = _inputs_cached(w, seed)
     return _measure(w, ck, arrays, scalars, check, t_compile, t_sched,
-                    _charged_pass_seconds(ck, True, t_conv > 0))
+                    _charged_pass_seconds(ck, True, t_conv > 0),
+                    engine=engine)
 
 
 # ---------------------------------------------------------------------------
@@ -398,8 +441,15 @@ def run_sweep(
     supervise: bool = True,
     deadline_s: float | None = None,
     strict: bool = True,
+    engine: str = "auto",
 ) -> SweepData:
     """Run the evaluation grid.
+
+    ``engine`` selects the simulator core (see
+    :func:`repro.sim.simulate`): the default compiled engine executes
+    each (workload, level) cell once and replays the trace per width;
+    ``"interp"`` forces the tuple interpreter.  Both produce identical
+    results, so the engine is *not* part of the journal/store identity.
 
     ``jobs > 1`` distributes (workload, level) tasks over a process pool.
     With a ``journal`` path, every finished configuration is appended as a
@@ -493,7 +543,7 @@ def run_sweep(
             )
             if missing:
                 tasks.append((w.name, int(level), missing, seed, check,
-                              check_ir, options))
+                              check_ir, options, engine))
 
     jf = None
     if journal is not None and tasks:
@@ -623,7 +673,7 @@ def load_sweep(path: Path | None = None, require_complete: bool = True) -> Sweep
 def sweep_cached(force: bool = False, verbose: bool = False, jobs: int = 1,
                  check_ir: bool = False,
                  options: PassOptions | None = None,
-                 store=None) -> SweepData:
+                 store=None, engine: str = "auto") -> SweepData:
     """Load the cached grid or compute and cache it.
 
     Computation journals to ``results/sweep.journal.jsonl``, so an
@@ -643,10 +693,11 @@ def sweep_cached(force: bool = False, verbose: bool = False, jobs: int = 1,
             return cached
     if ablated:
         return run_sweep(verbose=verbose, jobs=jobs, check_ir=check_ir,
-                         options=options, store=store)
+                         options=options, store=store, engine=engine)
     journal = default_journal_path()
     data = run_sweep(verbose=verbose, jobs=jobs, journal=journal,
-                     resume=not force, check_ir=check_ir, store=store)
+                     resume=not force, check_ir=check_ir, store=store,
+                     engine=engine)
     save_sweep(data)
     journal.unlink(missing_ok=True)
     return data

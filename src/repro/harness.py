@@ -309,16 +309,97 @@ def run_compiled_kernel(
     arrays: dict[str, np.ndarray] | None = None,
     scalars: dict[str, float | int] | None = None,
     max_cycles: int = 200_000_000,
+    engine: str = "auto",
 ) -> KernelRun:
     """Simulate a compiled kernel on bound data.
 
     Every declared array must be provided with matching total size; input
     scalars default to 0.  Returns final array contents and the kernel's
-    declared output scalars.
+    declared output scalars.  ``engine`` selects the simulator core
+    (see :func:`repro.sim.simulate`).
     """
     mem, iregs, fregs = bind_inputs(ck.lowered, arrays, scalars)
-    res = simulate(ck.func, ck.machine, mem, iregs, fregs, max_cycles=max_cycles)
+    res = simulate(ck.func, ck.machine, mem, iregs, fregs,
+                   max_cycles=max_cycles, engine=engine)
     out_arrays, out_scalars = collect_outputs(
         ck.lowered, mem, res.iregs, res.fregs, scalars or {}
     )
     return KernelRun(res.cycles, res.instructions, out_arrays, out_scalars)
+
+
+class BatchedRunner:
+    """Execute a (workload, level) cell once, time it for many widths.
+
+    The dynamic trace of the in-order model depends only on values, so
+    the issue widths of one cell share it: construct the runner from any
+    one width's :class:`CompiledKernel` (this executes the program once,
+    valuewise) and call :meth:`run` per width to get that machine's
+    cycle/instruction counts by trace replay — bit-identical to full
+    simulation, at a fraction of the cost.
+
+    End-state outputs are shared across widths (the scheduler preserves
+    the values of memory and live-out scalars; speculation only touches
+    dead or renamed registers).  A width whose schedule the replayer
+    cannot map (or a machine outside replay scope) transparently falls
+    back to a full simulation with freshly bound inputs —
+    ``last_fallback`` reports which path the most recent :meth:`run`
+    took, so callers can re-validate fallback outputs if they need to.
+
+    Construction raises ``EngineUnsupported``/``ReplayUnsupported`` when
+    the cell cannot use the compiled engine at all; callers then run
+    each width the classic way.
+    """
+
+    def __init__(
+        self,
+        ck: CompiledKernel,
+        arrays: dict[str, np.ndarray] | None = None,
+        scalars: dict[str, float | int] | None = None,
+        max_cycles: int = 200_000_000,
+    ):
+        from .sim import compiled_program, exec_plan, execute_plan, replay, replay_spec
+        from .sim.simulator import _bank_dict
+
+        self._arrays_in = arrays
+        self._scalars_in = scalars
+        self._max_cycles = max_cycles
+        self.last_fallback = False
+        mem, iregs, fregs = bind_inputs(ck.lowered, arrays, scalars)
+        prog = compiled_program(ck.func, ck.machine, mem.symbols)
+        self._plan = exec_plan(prog)
+        spec = replay_spec(self._plan, prog)  # validate before executing
+        self._segs, ivals, fvals = execute_plan(
+            self._plan, mem, iregs, fregs, max_cycles
+        )
+        self._symbols = mem.symbols
+        self._replay = replay
+        self._replay_spec = replay_spec
+        self._compiled_program = compiled_program
+        cycles, n_instr = replay(self._segs, spec, max_cycles)
+        out_arrays, out_scalars = collect_outputs(
+            ck.lowered, mem, _bank_dict(ivals), _bank_dict(fvals), scalars or {}
+        )
+        self.arrays = out_arrays
+        self.scalars = out_scalars
+        self._first = KernelRun(cycles, n_instr, out_arrays, out_scalars)
+        self._first_prog = prog
+
+    def run(self, ck: CompiledKernel) -> KernelRun:
+        """Cycle/instruction counts for ``ck``'s machine, with the shared
+        end-state outputs.  ``ck`` must be a reschedule of the traced
+        kernel (a width clone of the same transformed code)."""
+        from .sim import ReplayUnmapped, ReplayUnsupported
+
+        self.last_fallback = False
+        prog = self._compiled_program(ck.func, ck.machine, self._symbols)
+        if prog is self._first_prog:
+            return self._first
+        try:
+            spec = self._replay_spec(self._plan, prog)
+        except (ReplayUnmapped, ReplayUnsupported):
+            self.last_fallback = True
+            return run_compiled_kernel(
+                ck, self._arrays_in, self._scalars_in, self._max_cycles
+            )
+        cycles, n_instr = self._replay(self._segs, spec, self._max_cycles)
+        return KernelRun(cycles, n_instr, self.arrays, self.scalars)

@@ -32,13 +32,21 @@ import json
 
 from ..frontend.pretty import kernel_str
 from ..machine import MachineConfig, to_description
+from ..sim import ENGINE_VERSION
 from ..workloads import get_workload
+
+#: Compiler-side salt component: bump when compiled output changes
+#: (pass behavior, scheduling, lowering).
+COMPILER_VERSION = "repro-2026.08-pm4"
 
 #: Bump when compiled output or simulation semantics change: every
 #: artifact keyed under the old salt becomes unreachable (and is lazily
 #: invalidated by the store).  The sweep journal embeds it too, so a
-#: stale journal is recomputed rather than trusted.
-CODE_VERSION = "repro-2026.08-pm3"
+#: stale journal is recomputed rather than trusted.  The simulator
+#: engine version is folded in directly — an engine rewrite (e.g. the
+#: block-compiled trace/replay core) cannot forget to invalidate
+#: cached run/result artifacts, because the salt moves with it.
+CODE_VERSION = f"{COMPILER_VERSION}+{ENGINE_VERSION}"
 
 #: Request kinds with distinct result payloads (a compile artifact is
 #: not a run result, so they get distinct keys even for one config):

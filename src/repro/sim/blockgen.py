@@ -1,0 +1,355 @@
+"""Closure-compiled block execution: the value half of the fast engine.
+
+The tuple interpreter in :mod:`repro.sim.simulator` pays a dispatch,
+an operand-descriptor unpack, and a readiness check per dynamic
+instruction.  For *execution* (computing values, following branches,
+mutating memory) none of the timing work is needed, so this module
+compiles every basic block into a specialized straight-line Python
+function over the flat register banks::
+
+    def _b3(iv, fv, mem):
+        fv[2] = mem[(iv[5] + 4096) >> 2]
+        fv[3] = fv[2] * fv[1]
+        iv[5] = iv[5] + 4
+        if iv[5] < iv[6]:
+            return 7        # segment id: block 3 exited via this branch
+        return 8            # segment id: block 3 fell through
+
+Each function returns a *segment id* identifying how the block exited:
+either a specific taken control instruction or the fall-through.  Running
+the program is then just chaining block calls and recording segment ids —
+the resulting segment sequence is the :class:`ExecPlan`'s compact dynamic
+trace, which the timing side (:mod:`repro.sim.replay`) replays per issue
+width.
+
+Error semantics are preserved exactly (the interpreter's contract is that
+reads of never-written registers raise :class:`SimulationError`, never a
+codegen artifact like ``NameError``):
+
+* never-written registers hold ``None``; arithmetic on ``None`` raises
+  ``TypeError`` naturally, which the driver maps back — via a
+  line-number-to-instruction table — to the interpreter's exact
+  ``SimulationError``/``SimMemoryError`` message;
+* ``==``/``!=`` comparisons and stores would *silently accept* ``None``,
+  so the generator emits explicit guards for equality branches and store
+  values (calling ``_ur``/``_us``, which raise the interpreter's
+  messages directly);
+* division by zero and loads from unbound addresses translate the same
+  way (``ZeroDivisionError``/``KeyError`` at a known line).
+
+Programs the generator cannot express raise :class:`EngineUnsupported`
+and the caller falls back to the interpreter.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+
+from ..ir.instructions import Op
+from .errors import SimulationError
+from .executor import (
+    C_BRANCH,
+    C_HALT,
+    C_JUMP,
+    C_LOAD,
+    C_NOP,
+    C_STORE,
+    CONST,
+    CompiledInstr,
+    CompiledProgram,
+    FP_BANK,
+    INT_BANK,
+    _MASK64,
+    _idiv,
+    _irem,
+)
+from .memory import SimMemoryError
+
+
+class EngineUnsupported(Exception):
+    """This program cannot be closure-compiled; use the interpreter."""
+
+
+#: sentinel exit for "fell through the end of the block"
+FALL = None
+
+_INFIX = {
+    Op.ADD: "+", Op.SUB: "-", Op.MUL: "*",
+    Op.AND: "&", Op.OR: "|", Op.XOR: "^",
+    Op.SHL: "<<", Op.SHRA: ">>",
+    Op.FADD: "+", Op.FSUB: "-", Op.FMUL: "*", Op.FDIV: "/",
+}
+_HELPER = {Op.DIV: "_idiv", Op.REM: "_irem", Op.SHRL: "_shrl"}
+_CMP_INFIX = {
+    Op.BLT: "<", Op.BLE: "<=", Op.BGT: ">", Op.BGE: ">=",
+    Op.BEQ: "==", Op.BNE: "!=",
+    Op.FBLT: "<", Op.FBLE: "<=", Op.FBGT: ">", Op.FBGE: ">=",
+    Op.FBEQ: "==", Op.FBNE: "!=",
+}
+#: comparisons that silently accept None (``==``/``!=`` never raise), so
+#: the generated code needs an explicit uninitialized-read guard
+_EQNE = {Op.BEQ, Op.BNE, Op.FBEQ, Op.FBNE}
+
+
+def _shrl(a, b):
+    return (a & _MASK64) >> b
+
+
+def _expr(desc) -> str:
+    """Fetch expression for one operand descriptor (bank, key)."""
+    bank, key = desc
+    if bank == INT_BANK:
+        return f"iv[{key}]"
+    if bank == FP_BANK:
+        return f"fv[{key}]"
+    if isinstance(key, float) and not math.isfinite(key):
+        raise EngineUnsupported(f"non-finite constant {key!r}")
+    return f"({key!r})"
+
+
+def _dest(ci: CompiledInstr) -> str:
+    bank, idx = ci.dest
+    return f"iv[{idx}]" if bank == INT_BANK else f"fv[{idx}]"
+
+
+def _addr_expr(s0, s1) -> str:
+    """Word-index expression for a load/store address (base + offset)."""
+    if s0[0] == CONST and s1[0] == CONST:
+        return repr((s0[1] + s1[1]) >> 2)  # fold; Python >> floors like runtime
+    return f"({_expr(s0)} + {_expr(s1)}) >> 2"
+
+
+class ExecPlan:
+    """A program compiled to per-block closures plus its segment table.
+
+    A *segment* is one way one block's execution can end: ``(block,
+    exit)`` where ``exit`` is a specific control instruction (taken
+    branch / jump / halt) or :data:`FALL`.  The block functions return
+    segment ids; the driver chains them and records the id sequence —
+    that sequence plus end-state values is the complete observable
+    behavior of the run, independent of issue width.
+    """
+
+    def __init__(self, prog: CompiledProgram):
+        self.prog = prog
+        self.seg_block: list[int] = []      # segment -> block index
+        self.seg_exit: list = []            # segment -> CompiledInstr | FALL
+        self.seg_next: list[int | None] = []  # segment -> next block | None
+        self.instrs: list[CompiledInstr] = []  # global instr index -> ci
+        self._line_starts: list[int] = []   # parallel: first lineno of instr
+        self._line_gi: list[int] = []
+        self.filename = f"<simblocks:{prog.func.name}:{id(prog)}>"
+        self._build()
+
+    # -- codegen ------------------------------------------------------------
+
+    def _new_seg(self, block: int, exit_ci, next_block: int | None) -> int:
+        self.seg_block.append(block)
+        self.seg_exit.append(exit_ci)
+        self.seg_next.append(next_block)
+        return len(self.seg_block) - 1
+
+    def _build(self) -> None:
+        prog = self.prog
+        lines: list[str] = []
+        emit = lines.append
+        for b, blk in enumerate(prog.blocks):
+            emit(f"def _b{b}(iv, fv, mem):")
+            for ci in blk.code:
+                gi = len(self.instrs)
+                self.instrs.append(ci)
+                stmts = self._gen(ci, b, gi)
+                if stmts:
+                    self._line_starts.append(len(lines) + 1)
+                    self._line_gi.append(gi)
+                    for s in stmts:
+                        emit("    " + s)
+            fall = self._new_seg(b, FALL, blk.next_index)
+            emit(f"    return {fall}")
+        code = compile("\n".join(lines), self.filename, "exec")
+        g = {
+            "_idiv": _idiv, "_irem": _irem, "_shrl": _shrl,
+            "_flt": float, "_trunc": math.trunc,
+            "_ur": self._raise_uninit_read, "_us": self._raise_uninit_store,
+        }
+        exec(code, g)
+        self.block_fns = [g[f"_b{b}"] for b in range(len(prog.blocks))]
+        self.source = "\n".join(lines)
+
+    def _gen(self, ci: CompiledInstr, b: int, gi: int) -> list[str]:
+        op = ci.instr.op
+        cat = ci.cat
+        if cat == C_NOP:
+            return []
+        if cat == C_HALT:
+            return [f"return {self._new_seg(b, ci, None)}"]
+        if cat == C_JUMP:
+            tgt = self.prog.index[ci.target]
+            return [f"return {self._new_seg(b, ci, tgt)}"]
+        if cat == C_BRANCH:
+            tgt = self.prog.index[ci.target]
+            seg = self._new_seg(b, ci, tgt)
+            a, bx = _expr(ci.srcs[0]), _expr(ci.srcs[1])
+            out = []
+            if op in _EQNE:
+                checks = [f"{_expr(s)} is None" for s in ci.srcs if s[0] != CONST]
+                if checks:
+                    out.append(f"if {' or '.join(checks)}: _ur({gi})")
+            out.append(f"if {a} {_CMP_INFIX[op]} {bx}:")
+            out.append(f"    return {seg}")
+            return out
+        if cat == C_LOAD:
+            return [f"{_dest(ci)} = mem[{_addr_expr(ci.srcs[0], ci.srcs[1])}]"]
+        if cat == C_STORE:
+            s0, s1, sv = ci.srcs
+            addr = _addr_expr(s0, s1)
+            if sv[0] == CONST:
+                return [f"mem[{addr}] = {_expr(sv)}"]
+            # interpreter order: fetch value, compute address (TypeError ->
+            # uninitialized *read*), THEN reject a None value as an
+            # uninitialized *store* — keep the address first here so the
+            # read error wins when both apply
+            return [
+                f"_a = {addr}",
+                f"_v = {_expr(sv)}",
+                f"if _v is None: _us({gi})",
+                "mem[_a] = _v",
+            ]
+        # ALU (generic C_ALU: two- or one-operand)
+        if op in _INFIX:
+            a, bx = _expr(ci.srcs[0]), _expr(ci.srcs[1])
+            return [f"{_dest(ci)} = {a} {_INFIX[op]} {bx}"]
+        if op in _HELPER:
+            a, bx = _expr(ci.srcs[0]), _expr(ci.srcs[1])
+            return [f"{_dest(ci)} = {_HELPER[op]}({a}, {bx})"]
+        if op in (Op.MOV, Op.FMOV):
+            return [f"{_dest(ci)} = {_expr(ci.srcs[0])}"]
+        if op is Op.ITOF:
+            return [f"{_dest(ci)} = _flt({_expr(ci.srcs[0])})"]
+        if op is Op.FTOI:
+            return [f"{_dest(ci)} = _trunc({_expr(ci.srcs[0])})"]
+        raise EngineUnsupported(f"cannot compile {ci.instr!r}")
+
+    # -- interpreter-identical error raising --------------------------------
+
+    def _raise_uninit_read(self, gi: int):
+        raise SimulationError(
+            f"read of uninitialized register: {self.instrs[gi].instr!r}"
+        )
+
+    def _raise_uninit_store(self, gi: int):
+        raise SimulationError(
+            f"store of uninitialized register: {self.instrs[gi].instr!r}"
+        )
+
+    def translate_error(self, exc: BaseException, iv: list, fv: list):
+        """Re-raise ``exc`` (raised inside generated code) exactly as the
+        interpreter would have.
+
+        The traceback's deepest frame in the generated module names the
+        failing line; the line table maps it to the instruction.  The
+        instruction had not committed its destination, so its source
+        operands are intact in the banks and can be re-read to build the
+        interpreter's message (e.g. the faulting load address).
+        """
+        lineno = None
+        tb = exc.__traceback__
+        while tb is not None:
+            if tb.tb_frame.f_code.co_filename == self.filename:
+                lineno = tb.tb_lineno
+            tb = tb.tb_next
+        if lineno is None:
+            raise exc
+        k = bisect_right(self._line_starts, lineno) - 1
+        if k < 0:
+            raise exc
+        ci = self.instrs[self._line_gi[k]]
+        banks = (iv, fv)
+        vals = [k2 if b2 == CONST else banks[b2][k2] for b2, k2 in ci.srcs]
+        ins = ci.instr
+        if isinstance(exc, KeyError) and ci.cat == C_LOAD:
+            addr = vals[0] + vals[1]
+            raise SimMemoryError(
+                f"load from uninitialized address {addr:#x}: {ins!r}"
+            ) from None
+        if isinstance(exc, ZeroDivisionError):
+            raise SimulationError(f"division by zero: {ins!r}") from None
+        if isinstance(exc, TypeError) and any(v is None for v in vals):
+            raise SimulationError(
+                f"read of uninitialized register: {ins!r}"
+            ) from None
+        raise exc
+
+
+def exec_plan(prog: CompiledProgram) -> ExecPlan:
+    """Memoized :class:`ExecPlan` for a compiled program (raises
+    :class:`EngineUnsupported`, also memoized, when codegen cannot
+    express the program)."""
+    plan = getattr(prog, "_exec_plan", None)
+    if plan is not None:
+        return plan
+    why = getattr(prog, "_exec_plan_unsupported", None)
+    if why is not None:
+        raise EngineUnsupported(why)
+    try:
+        plan = ExecPlan(prog)
+    except EngineUnsupported as e:
+        prog._exec_plan_unsupported = str(e)
+        raise
+    prog._exec_plan = plan
+    return plan
+
+
+def execute_plan(
+    plan: ExecPlan,
+    memory,
+    iregs: dict[int, int],
+    fregs: dict[int, float],
+    max_cycles: int = 200_000_000,
+) -> tuple[list[int], list, list]:
+    """Run the program valuewise; returns (segment trace, ivals, fvals).
+
+    Mutates ``memory`` exactly as the interpreter would.  The segment
+    count is bounded via ``max_cycles``: every control-exit segment costs
+    at least one cycle on any machine, and fall-through chains between
+    control exits are bounded by the block count, so a run that exceeds
+    ``(max_cycles + 2) * (n_blocks + 1)`` segments cannot be within the
+    cycle budget on any width and raises the interpreter's runaway error.
+    """
+    prog = plan.prog
+    ni, nf = prog.n_iregs, prog.n_fregs
+    if iregs:
+        ni = max(ni, max(iregs) + 1)
+    if fregs:
+        nf = max(nf, max(fregs) + 1)
+    iv: list = [None] * ni
+    fv: list = [None] * nf
+    for r, v in iregs.items():
+        iv[r] = v
+    for r, v in fregs.items():
+        fv[r] = v
+
+    mem = memory._words
+    fns = plan.block_fns
+    seg_next = plan.seg_next
+    segs: list[int] = []
+    append = segs.append
+    limit = (max_cycles + 2) * (len(fns) + 1)
+    bi: int | None = 0 if fns else None
+    try:
+        while bi is not None:
+            s = fns[bi](iv, fv, mem)
+            append(s)
+            bi = seg_next[s]
+            if len(segs) > limit:
+                raise SimulationError(
+                    f"exceeded {max_cycles} cycles in {prog.func.name} "
+                    f"(at block {prog.labels[plan.seg_block[s]]})"
+                )
+    except (SimulationError, SimMemoryError):
+        raise
+    except (TypeError, KeyError, ZeroDivisionError) as e:
+        plan.translate_error(e, iv, fv)
+        raise
+    return segs, iv, fv

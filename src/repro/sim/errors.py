@@ -1,0 +1,14 @@
+"""Simulation error types.
+
+Defined in their own module so both simulator engines (the tuple
+interpreter in :mod:`repro.sim.simulator` and the closure-compiled engine
+in :mod:`repro.sim.blockgen`) can raise the same exception without a
+circular import.  :class:`~repro.sim.memory.SimMemoryError` lives with the
+memory model; this module holds the execution-side error.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    pass

@@ -26,6 +26,13 @@ from ..ir.instructions import Instr, Kind, Op
 from ..ir.operands import FImm, Imm, Reg, RegClass, Sym
 from ..machine import MachineConfig
 
+#: Simulator-engine version: bumped whenever the execution/timing core
+#: changes in a way that could alter observable results or their cost
+#: profile.  The content-addressed store's CODE_VERSION salt
+#: (:mod:`repro.service.keys`) is derived from this, so artifacts
+#: produced by an older engine can never be served as current.
+ENGINE_VERSION = "sim-2-blockgen-replay"
+
 # source/dest bank tags
 INT_BANK = 0
 FP_BANK = 1

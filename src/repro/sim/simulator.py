@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from ..ir.function import Function
 from ..machine import MachineConfig
+from .errors import SimulationError
 from .executor import (
     C_ALU,
     C_ALU1,
@@ -42,9 +43,10 @@ from .executor import (
 )
 from .memory import Memory, SimMemoryError
 
-
-class SimulationError(RuntimeError):
-    pass
+#: engine used by ``simulate(engine="auto")``.  "compiled" is the
+#: closure-compiled execute-then-replay engine (bit-identical results,
+#: see DESIGN.md §13); "interp" is the tuple interpreter below.
+DEFAULT_ENGINE = "compiled"
 
 
 @dataclass
@@ -72,6 +74,7 @@ def simulate(
     max_cycles: int = 200_000_000,
     collect_block_visits: bool = False,
     trace: list | None = None,
+    engine: str = "auto",
 ) -> RunResult:
     """Run ``func`` to completion on the given machine configuration.
 
@@ -79,13 +82,54 @@ def simulate(
     supplies bound arrays and the symbol table.  Execution starts at the
     entry block and ends when control falls off the end of the last block.
     Program lowering is memoized per (function, machine, symbol table).
+
+    ``engine`` selects the simulator core: ``"compiled"`` executes
+    closure-compiled blocks once and replays the trace for timing
+    (results are bit-identical to the interpreter); ``"interp"`` forces
+    the tuple interpreter; ``"auto"`` (default) uses
+    :data:`DEFAULT_ENGINE` but falls back to the interpreter when a
+    per-instruction issue ``trace`` or ``collect_block_visits`` is
+    requested, or when the program/machine is outside the compiled
+    engine's scope (slot-limit ablations, sub-unit latencies).
     """
     memory = memory if memory is not None else Memory()
     prog = compiled_program(func, machine, memory.symbols)
+    if engine == "auto":
+        engine = DEFAULT_ENGINE
+    if engine == "compiled" and trace is None and not collect_block_visits:
+        from .blockgen import EngineUnsupported
+        from .replay import ReplayUnsupported
+
+        try:
+            return run_traced(prog, memory, iregs or {}, fregs or {},
+                              max_cycles)
+        except (EngineUnsupported, ReplayUnsupported):
+            pass  # outside the compiled engine's scope: interpret
     return run_compiled(
         prog, memory, iregs or {}, fregs or {}, max_cycles,
         collect_block_visits, trace,
     )
+
+
+def run_traced(
+    prog: CompiledProgram,
+    memory: Memory,
+    iregs: dict[int, int],
+    fregs: dict[int, float],
+    max_cycles: int = 200_000_000,
+) -> RunResult:
+    """The compiled engine: execute blocks once, replay the trace for
+    timing.  Raises ``EngineUnsupported``/``ReplayUnsupported`` (before
+    touching ``memory``) when the program or machine is out of scope."""
+    from .blockgen import exec_plan, execute_plan
+    from .replay import replay, replay_spec
+
+    plan = exec_plan(prog)
+    spec = replay_spec(plan, prog)  # validate machine before executing
+    segs, ivals, fvals = execute_plan(plan, memory, iregs, fregs, max_cycles)
+    cycles, n_instr = replay(segs, spec, max_cycles)
+    return RunResult(cycles, n_instr, _bank_dict(ivals), _bank_dict(fvals),
+                     memory, {})
 
 
 def _bank_dict(vals: list) -> dict:

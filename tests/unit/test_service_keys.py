@@ -125,3 +125,36 @@ class TestSweepHeaderSharing:
     def test_code_version_in_header(self):
         """Bumping CODE_VERSION must invalidate old journals."""
         assert _journal_header(0, True)["salt"] == CODE_VERSION
+
+
+class TestEngineDerivedSalt:
+    """The store salt is derived from the simulator engine version: an
+    engine rewrite cannot forget to invalidate cached run artifacts."""
+
+    def test_salt_embeds_engine_version(self):
+        from repro.sim import ENGINE_VERSION
+
+        assert ENGINE_VERSION in CODE_VERSION
+        from repro.service.keys import COMPILER_VERSION
+
+        assert CODE_VERSION == f"{COMPILER_VERSION}+{ENGINE_VERSION}"
+
+    def test_old_engine_salt_changes_every_key(self, monkeypatch):
+        import repro.service.keys as keys
+
+        new = request_key("run", "add", 3, 4)
+        monkeypatch.setattr(keys, "CODE_VERSION", "repro-2026.08-pm3")
+        old = request_key("run", "add", 3, 4)
+        assert new != old
+
+    def test_artifact_written_under_old_salt_is_a_miss(self, tmp_path):
+        from repro.service.store import ArtifactStore
+
+        key = request_key("run", "add", 3, 4)
+        writer = ArtifactStore(tmp_path, salt="repro-2026.08-pm3+sim-1-interp")
+        assert writer.put(key, {"cycles": 123}) is not None
+        assert writer.get(key) == {"cycles": 123}
+
+        reader = ArtifactStore(tmp_path)  # current engine-derived salt
+        assert reader.get(key) is None
+        assert reader.stats.misses >= 1 or reader.stats.invalidated >= 1
