@@ -1,0 +1,98 @@
+"""CI smoke for the multi-node cluster.
+
+Self-contained (starts its own fleet): launches a 3-node process
+cluster plus a router, then drives the scale-out guarantees end to end:
+
+1. mixed requests through the router land on more than one node
+   (consistent-hash routing actually spreads the key space);
+2. the same key submitted through every node compiles exactly once
+   (ownership forwarding funnels into one engine's single-flight);
+3. one node is SIGKILLed mid-batch — every remaining request is still
+   answered, lost artifacts are recomputed, and nothing is served
+   twice or differently;
+4. the router's aggregated ``/metrics`` reports zero errors on the
+   survivors.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cluster.launch import ProcessCluster
+from repro.cluster.router import serve_router_background
+from repro.service.client import ServiceClient
+
+GRID = [("dotprod", 4, 8), ("add", 0, 1), ("add", 4, 8), ("sum", 4, 4),
+        ("sum", 0, 8), ("maxval", 4, 1), ("maxval", 2, 8), ("merge", 4, 8)]
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="repro-cluster-smoke-"))
+    cluster = ProcessCluster(n=3, store_root=tmp, jobs=1).start()
+    httpd, router, url = serve_router_background(cluster.urls)
+    try:
+        c = ServiceClient(url, timeout=120.0, retry=None)
+
+        # 1: a mixed batch spreads across the fleet
+        first = {}
+        nodes_seen = set()
+        for wl, lv, wd in GRID[:4]:
+            r = c.run(wl, level=lv, width=wd, timeout=60.0)
+            first[(wl, lv, wd)] = r["result"]
+            nodes_seen.add(r.get("node") or r.get("routed_by"))
+        assert len(nodes_seen) > 1, \
+            f"all requests landed on one node: {nodes_seen}"
+
+        # 2: the same key through every node directly — exactly one
+        # compilation fleet-wide (forwarded replies are store hits)
+        replies = [ServiceClient(u, retry=None).run("dotprod", level=4,
+                                                    width=8, timeout=60.0)
+                   for u in cluster.urls]
+        assert all(r["result"] == first[("dotprod", 4, 8)]
+                   for r in replies), "duplicate key answered differently"
+        assert all(r["cache"] == "hit" for r in replies), (
+            "duplicate key recompiled: "
+            f"{[r['cache'] for r in replies]}")
+        owners = {r["node"] for r in replies}
+        assert len(owners) == 1, f"key served by several owners: {owners}"
+
+        # 3: SIGKILL a node mid-batch; the batch must complete with
+        # zero lost or duplicated results
+        victim = sorted(cluster.urls)[0]
+        cluster.kill(victim)
+        second = {}
+        for wl, lv, wd in GRID[4:]:
+            r = c.run(wl, level=lv, width=wd, timeout=60.0)
+            second[(wl, lv, wd)] = r["result"]
+        assert len(second) == len(GRID[4:]), "requests lost after the kill"
+        # re-request everything (including pre-kill keys): served again,
+        # byte-identical — recomputed where the victim's shard died
+        for (wl, lv, wd), want in {**first, **second}.items():
+            got = c.run(wl, level=lv, width=wd, timeout=60.0)["result"]
+            assert got == want, f"({wl},{lv},{wd}) changed after node kill"
+
+        # 4: aggregated metrics — survivors clean, fleet accounted
+        m = c.metrics()
+        survivors = [u for u in cluster.urls if u != victim]
+        for u in survivors:
+            node_metrics = m["nodes"][u]
+            assert not node_metrics.get("unreachable"), f"{u} unreachable"
+            if node_metrics.get("errors"):
+                print(f"{u} reported {node_metrics['errors']} error(s)",
+                      file=sys.stderr)
+                return 1
+        assert m["nodes"][victim].get("unreachable") is True
+        assert m["router"]["unroutable"] == 0
+        assert m["router"]["failovers"] > 0, \
+            "the kill never exercised failover"
+        print(f"cluster smoke: ok ({len(GRID)} configs over 3 nodes, "
+              f"{m['router']['routed']} routed, "
+              f"{m['router']['failovers']} failovers, victim {victim})")
+        return 0
+    finally:
+        httpd.shutdown()
+        cluster.stop()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

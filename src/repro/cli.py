@@ -10,6 +10,7 @@
     python -m repro sweep --store DIR            # persistent artifact store
     python -m repro ablate [--jobs N]            # leave-one-out pass ablation
     python -m repro serve --port 8734 --store DIR --jobs 2  # HTTP service
+    python -m repro cluster --nodes 3 --store DIR # multi-node scale-out
     python -m repro submit run dotprod --level 4 --width 8  # client SDK
     python -m repro mii dotprod                  # software-pipelining bounds
     python -m repro check                        # differential oracle, all 40
@@ -270,6 +271,13 @@ def cmd_chaos(args) -> int:
     return chaos_main(args.rest)
 
 
+def cmd_cluster(args) -> int:
+    """Multi-node cluster launcher (see repro.cluster.launch)."""
+    from .cluster.launch import main as cluster_main
+
+    return cluster_main(args.rest)
+
+
 def cmd_submit(args) -> int:
     """Client side of the service: submit one request, print the reply."""
     import json as _json
@@ -417,6 +425,13 @@ def main(argv=None) -> int:
                         "store writes, drop HTTP responses; verify identical "
                         "results and full fault accounting")
 
+    # remaining arguments are forwarded verbatim to
+    # repro.cluster.launch (try `python -m repro cluster --help`)
+    sub.add_parser("cluster", add_help=False,
+                   help="run a multi-node cluster: N node processes sharding "
+                        "the store by consistent hash, plus a router "
+                        "front-end")
+
     p = sub.add_parser("submit",
                        help="submit one request to a running service")
     p.add_argument("what",
@@ -461,7 +476,7 @@ def main(argv=None) -> int:
     p.add_argument("--verbose", action="store_true")
 
     args, extra = ap.parse_known_args(argv)
-    if args.cmd in ("ablate", "serve", "chaos"):
+    if args.cmd in ("ablate", "serve", "chaos", "cluster"):
         args.rest = extra
     elif extra:
         ap.error(f"unrecognized arguments: {' '.join(extra)}")
@@ -470,6 +485,7 @@ def main(argv=None) -> int:
         "compile": cmd_compile, "run": cmd_run, "sweep": cmd_sweep,
         "ablate": cmd_ablate, "serve": cmd_serve, "submit": cmd_submit,
         "mii": cmd_mii, "check": cmd_check, "chaos": cmd_chaos,
+        "cluster": cmd_cluster,
     }[args.cmd](args)
 
 

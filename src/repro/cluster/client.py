@@ -1,0 +1,143 @@
+"""Ring-aware client SDK: owner-direct dispatch without a router hop.
+
+    from repro.cluster.client import ClusterClient
+
+    c = ClusterClient(["http://127.0.0.1:9001", "http://127.0.0.1:9002"])
+    r = c.run("dotprod", level=4, width=8)   # straight to the owner node
+    job = c.sweep(["add", "sum"])            # (node_url, job_id) handle
+    rec = c.wait_job(job)
+
+The client builds the same consistent-hash ring the nodes use, so a
+single request goes **directly** to the node that owns (and caches) its
+key — no router round-trip, no second hop.  When the owner is down the
+client walks the key's deterministic preference order itself, sending
+the ``X-Repro-Hop: route`` header so the fallback node computes locally
+(the *forwarded-wait* path) instead of re-forwarding to the corpse;
+such replies carry ``"failover": true`` and are tallied in
+``c.failovers``.
+
+Sweeps are whole-grid: submitted to the first reachable node in the
+grid key's preference order (that node's engine batches the cells); the
+returned handle ``(node_url, job_id)`` pins polling to the node that
+owns the job.  For *cell-wise* sweep spreading use the router
+(:mod:`repro.cluster.router`), which this client happily points at too
+— a router URL passed as the only "node" degenerates every call into
+plain proxying.
+"""
+
+from __future__ import annotations
+
+from ..service.client import (
+    ServiceClient,
+    ServiceRequestError,
+    ServiceUnavailable,
+)
+from .node import HOP_HEADER, _key_of
+from .ring import HashRing
+
+
+class ClusterClient:
+    def __init__(self, nodes: list[str], timeout: float = 300.0,
+                 vnodes: int = 64):
+        if not nodes:
+            raise ValueError("need at least one node URL")
+        self.ring = HashRing(nodes, vnodes=vnodes)
+        self.timeout = timeout
+        self._clients: dict[tuple[str, str | None], ServiceClient] = {}
+        #: preference-order hops taken past unreachable owners
+        self.failovers = 0
+
+    def _client(self, url: str, hop: str | None = None) -> ServiceClient:
+        c = self._clients.get((url, hop))
+        if c is None:
+            c = ServiceClient(url, timeout=self.timeout, retry=None,
+                              headers={HOP_HEADER: hop} if hop else {})
+            self._clients[(url, hop)] = c
+        return c
+
+    # -- dispatch --------------------------------------------------------
+
+    def _dispatch(self, path: str, body: dict, key: str) -> dict:
+        last = None
+        for i, url in enumerate(self.ring.preference(key)):
+            try:
+                reply = self._client(url, "route" if i else None)._call(
+                    "POST", path, body)
+            except ServiceUnavailable as e:
+                self.failovers += 1
+                last = e
+                continue
+            if i:
+                reply["failover"] = True
+            return reply
+        raise ServiceUnavailable(f"no node reachable for {key[:12]}: {last}")
+
+    def compile(self, workload: str, level: int = 4, width: int = 8,
+                **kwargs) -> dict:
+        body = {"workload": workload, "level": level, "width": width,
+                **kwargs}
+        return self._dispatch("/v1/compile", body,
+                              self._body_key("compile", body))
+
+    def run(self, workload: str, level: int = 4, width: int = 8,
+            **kwargs) -> dict:
+        body = {"workload": workload, "level": level, "width": width,
+                **kwargs}
+        return self._dispatch("/v1/run", body, self._body_key("run", body))
+
+    @staticmethod
+    def _body_key(kind: str, body: dict) -> str:
+        from ..service.server import _req_fields
+        f = _req_fields(dict(body))
+        f.pop("timeout")
+        return _key_of(kind, f)
+
+    # -- sweeps ----------------------------------------------------------
+
+    def sweep(self, workloads: list[str], levels=None, widths=None,
+              **kwargs) -> tuple[str, str]:
+        """Submit a whole-grid sweep; returns the ``(node_url, job_id)``
+        handle to poll (the job record lives on that node)."""
+        body = {"workloads": list(workloads), **kwargs}
+        if levels is not None:
+            body["levels"] = list(levels)
+        if widths is not None:
+            body["widths"] = list(widths)
+        # placement only (any string hashes onto the ring): the same
+        # grid always lands on the same node, spreading distinct sweeps
+        key = (f"sweep:{sorted(workloads)}"
+               f":{sorted(levels) if levels is not None else 'all'}"
+               f":{sorted(widths) if widths is not None else 'all'}"
+               f":{int(kwargs.get('seed', 0))}")
+        reply = self._dispatch("/v1/sweep", body, key)
+        # a node that stole the sweep reports where the job really lives
+        node = reply.get("node") or reply.get("routed_by")
+        if node is None:
+            node = self.ring.preference(key)[0]
+        return node, reply["job"]
+
+    def wait_job(self, handle: tuple[str, str], timeout: float = 300.0,
+                 poll: float = 0.05) -> dict:
+        node, jid = handle
+        return self._client(node).wait_job(jid, timeout=timeout, poll=poll)
+
+    # -- fleet views -----------------------------------------------------
+
+    def healthz(self) -> dict:
+        nodes = {}
+        for url in self.ring.nodes:
+            try:
+                nodes[url] = bool(self._client(url)._call(
+                    "GET", "/healthz").get("ok"))
+            except (ServiceUnavailable, ServiceRequestError):
+                nodes[url] = False
+        return {"ok": any(nodes.values()), "nodes": nodes}
+
+    def metrics(self) -> dict:
+        out = {}
+        for url in self.ring.nodes:
+            try:
+                out[url] = self._client(url)._call("GET", "/metrics")
+            except (ServiceUnavailable, ServiceRequestError):
+                out[url] = {"unreachable": True}
+        return out

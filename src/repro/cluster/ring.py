@@ -1,0 +1,111 @@
+"""Consistent-hash ring: stable key → node placement.
+
+The store shards and the single-flight funnels both need every process
+in the cluster (nodes, router, clients) to agree on which node owns a
+given request key — and to keep agreeing as nodes join and leave.  A
+modulo hash moves almost every key when N changes; a consistent-hash
+ring moves only the keys that land on the changed node: ~K/N of them on
+average for a K-key space, and *provably* none whose owner did not
+change (removing a node can only reassign keys it owned; adding a node
+can only claim keys for itself).
+
+Each node is placed at ``vnodes`` pseudo-random points on a 64-bit
+circle (SHA-256 of ``"{node}#{i}"``); a key (already a SHA-256 hex
+digest from :mod:`repro.service.keys`, but any string works) maps to
+the first node point at or clockwise of its own hash.  Virtual nodes
+smooth the load: with 64 points per node the heaviest/lightest node
+imbalance stays within a few tens of percent even at N=3.
+
+``preference(key)`` is the failover order: the distinct nodes in ring
+order starting at the owner.  Everyone computing the same preference
+list is what lets the router and clients fail over deterministically
+when the owner is down, without any coordination.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def _point(data: str) -> int:
+    """A position on the 64-bit ring circle."""
+    return int.from_bytes(
+        hashlib.sha256(data.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over node names (URLs, typically)."""
+
+    def __init__(self, nodes=(), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._nodes: set[str] = set()
+        self._points: list[int] = []       # sorted vnode positions
+        self._owners: list[str] = []       # node at each position
+        for n in nodes:
+            self.add(n)
+
+    # -- membership ------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            p = _point(f"{node}#{i}")
+            at = bisect.bisect_left(self._points, p)
+            # ties broken by node name so every process builds the
+            # identical ring regardless of insertion order
+            while (at < len(self._points) and self._points[at] == p
+                   and self._owners[at] < node):
+                at += 1
+            self._points.insert(at, p)
+            self._owners.insert(at, node)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [(p, o) for p, o in zip(self._points, self._owners)
+                if o != node]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    # -- placement -------------------------------------------------------
+
+    def node_for(self, key: str) -> str:
+        """The owning node of ``key`` (raises on an empty ring)."""
+        if not self._points:
+            raise ValueError("empty ring")
+        at = bisect.bisect_right(self._points, _point(key))
+        if at == len(self._points):
+            at = 0  # wrap past the top of the circle
+        return self._owners[at]
+
+    def preference(self, key: str) -> list[str]:
+        """All distinct nodes in ring order from the owner: the
+        deterministic failover sequence for ``key``."""
+        if not self._points:
+            return []
+        at = bisect.bisect_right(self._points, _point(key))
+        seen: list[str] = []
+        n = len(self._points)
+        for i in range(n):
+            owner = self._owners[(at + i) % n]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) == len(self._nodes):
+                    break
+        return seen

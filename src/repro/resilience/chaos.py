@@ -409,6 +409,13 @@ def main(argv=None) -> int:
                     help="scratch directory (default: a fresh tempdir)")
     ap.add_argument("--no-serve", action="store_true",
                     help="skip the HTTP-service phase")
+    ap.add_argument("--cluster", action="store_true",
+                    help="node-kill mode: run the grid through a "
+                         "multi-node cluster, SIGKILL a whole node "
+                         "mid-batch, and reconcile exactly (see "
+                         "repro.cluster.chaos)")
+    ap.add_argument("--nodes", type=int, default=3, metavar="N",
+                    help="cluster size for --cluster (default: 3)")
     ap.add_argument("--list-plans", action="store_true",
                     help="list the builtin plans and exit")
     args = ap.parse_args(argv)
@@ -417,6 +424,22 @@ def main(argv=None) -> int:
         for name, (_, doc) in BUILTIN_PLANS.items():
             print(f"{name:<8} {doc}")
         return 0
+
+    if args.cluster:
+        from ..cluster.chaos import run_cluster_chaos
+
+        out = args.out
+        if out == "results/CHAOS_report.json":  # keep reports separate
+            out = "results/CHAOS_cluster_report.json"
+        report = run_cluster_chaos(
+            nodes=args.nodes, jobs=args.jobs,
+            workloads=tuple(args.workloads.split(",")),
+            levels=tuple(int(x) for x in args.levels.split(",")),
+            widths=tuple(int(x) for x in args.widths.split(",")),
+            workdir=Path(args.workdir) if args.workdir else None,
+            out=Path(out) if out else None,
+        )
+        return 0 if report["ok"] else 1
 
     report = run_chaos(
         args.plan, seed=args.seed, jobs=args.jobs,

@@ -17,23 +17,59 @@ are retried under the shared :class:`~repro.resilience.retry.RetryPolicy`
 — safe because every request is idempotent by canonical key; 429 is
 retried only when ``retry_overloaded=True`` (by default shedding is a
 signal the caller should see).  ``Retry-After`` headers override the
-computed backoff.  Used by ``repro submit``, ``experiments/sweep.py``
+computed backoff, in both RFC 9110 forms — delta-seconds *and*
+HTTP-date (:func:`parse_retry_after`).  Used by ``repro submit``, ``experiments/sweep.py``
 clients, and ``examples/service_client.py``.
 """
 
 from __future__ import annotations
 
+import email.utils
 import http.client
 import json
 import time
 import urllib.error
 import urllib.request
+from datetime import datetime, timezone
 
 from ..resilience.retry import RetryPolicy, RetryState
 
 #: default transport retry schedule (connection drops, 503)
 CLIENT_RETRY = RetryPolicy(max_attempts=5, base_s=0.05, cap_s=2.0,
                            budget_s=30.0)
+
+
+def parse_retry_after(value: str | None, *, now: float | None = None
+                      ) -> float | None:
+    """Seconds of server-suggested backoff from a ``Retry-After`` header.
+
+    RFC 9110 §10.2.3 allows two forms: non-negative *delta-seconds*
+    (``"5"``) and an *HTTP-date* (``"Fri, 08 Aug 2026 12:00:00 GMT"``).
+    Returns the delay in seconds (a past date clamps to ``0.0``), or
+    ``None`` for a missing/unparseable header.  ``now`` (a POSIX
+    timestamp) is injectable so tests don't race the real clock; the
+    date arithmetic itself is a difference of two wall-clock readings
+    taken at the same instant, so a clock *step* before the call cannot
+    produce a bogus huge delay the way a persisted timestamp would.
+    """
+    if value is None:
+        return None
+    value = value.strip()
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        pass
+    try:
+        when = email.utils.parsedate_to_datetime(value)
+    except (TypeError, ValueError):
+        return None
+    if when is None:
+        return None
+    if when.tzinfo is None:  # RFC 5322 parse of a legacy date w/o zone
+        when = when.replace(tzinfo=timezone.utc)
+    if now is None:
+        now = time.time()
+    return max(0.0, when.timestamp() - now)
 
 
 class ServiceRequestError(RuntimeError):
@@ -58,11 +94,15 @@ class ServiceUnavailable(RuntimeError):
 class ServiceClient:
     def __init__(self, base_url: str, timeout: float = 300.0,
                  retry: RetryPolicy | None = CLIENT_RETRY,
-                 retry_overloaded: bool = False):
+                 retry_overloaded: bool = False,
+                 headers: dict | None = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retry = retry
         self.retry_overloaded = retry_overloaded
+        #: extra headers sent with every request (the cluster layer uses
+        #: this for its forwarding loop guards)
+        self.headers = dict(headers or {})
         #: transport retries performed over this client's lifetime
         self.retries = 0
 
@@ -96,7 +136,7 @@ class ServiceClient:
         data = json.dumps(body).encode() if body is not None else None
         req = urllib.request.Request(
             self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", **self.headers},
         )
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
@@ -106,10 +146,7 @@ class ServiceClient:
                 message = json.loads(e.read() or b"{}").get("error", str(e))
             except json.JSONDecodeError:
                 message = str(e)
-            try:
-                retry_after = float(e.headers.get("Retry-After"))
-            except (TypeError, ValueError):
-                retry_after = None
+            retry_after = parse_retry_after(e.headers.get("Retry-After"))
             cls = ServiceOverloaded if e.code == 429 else ServiceRequestError
             raise cls(e.code, message, retry_after) from None
         except urllib.error.URLError as e:

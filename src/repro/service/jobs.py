@@ -37,10 +37,13 @@ Request lifecycle::
   atomically for all the configurations it expands to, so one oversized
   sweep cannot wedge the queue.
 * **Timeouts** — each request carries a deadline
-  (``default_timeout`` unless overridden); expiry fails *that waiter*
+  (``default_timeout`` unless overridden), stamped and enforced on
+  ``time.monotonic()`` so an NTP/wall-clock step can neither expire a
+  fresh job nor keep a dead one alive; expiry fails *that waiter*
   with :class:`RequestTimeout` while the underlying computation is left
   to finish and populate the store (process-pool work is not
-  cancellable mid-kernel).
+  cancellable mid-kernel).  Wall-clock timestamps appear only in the
+  ``/v1/jobs/<id>`` display fields.
 * **Supervised execution** — the fork pool runs under the resilience
   layer's :class:`~repro.resilience.supervisor.SupervisedPool`: a
   worker lost to a crash or hang is replaced and the cell re-dispatched
@@ -156,7 +159,15 @@ def compute_cell(task: tuple) -> list[dict]:
 
 @dataclass
 class Job:
-    """One accepted request (or sweep of requests) and its outcome."""
+    """One accepted request (or sweep of requests) and its outcome.
+
+    Clock discipline: the *deadline* is enforced on ``time.monotonic()``
+    (``deadline_mono``, stamped at admission) so an NTP step can neither
+    expire a fresh job nor keep a dead one alive.  ``created`` /
+    ``finished`` are wall-clock and exist **only** for display in
+    ``/v1/jobs/<id>`` responses; nothing is computed from them —
+    ``elapsed_s`` comes from the monotonic clock.
+    """
 
     id: str
     kind: str
@@ -165,17 +176,28 @@ class Job:
     cache: Optional[str] = None  # hit | miss | joined (single-flight)
     result: Optional[dict] = None
     error: Optional[str] = None
+    #: wall-clock timestamps, display only (never used for deadlines)
     created: float = field(default_factory=time.time)
     finished: Optional[float] = None
+    #: monotonic admission stamp and hard deadline (enforcement)
+    created_mono: float = field(default_factory=time.monotonic)
+    deadline_mono: Optional[float] = None
+    elapsed_s: Optional[float] = None
     #: bridge to the waiting thread
     future: Optional["asyncio.Future"] = None
+
+    def remaining_s(self) -> Optional[float]:
+        """Monotonic time left before the deadline (None = no deadline)."""
+        if self.deadline_mono is None:
+            return None
+        return self.deadline_mono - time.monotonic()
 
     def as_dict(self) -> dict:
         return {
             "id": self.id, "kind": self.kind, "request": self.request,
             "state": self.state, "cache": self.cache, "result": self.result,
             "error": self.error, "created": self.created,
-            "finished": self.finished,
+            "finished": self.finished, "elapsed_s": self.elapsed_s,
         }
 
 
@@ -284,8 +306,10 @@ class JobEngine:
         self._admit(1)
         self.counters["requests"] += 1
         job = self._new_job(kind, request)
+        job.deadline_mono = time.monotonic() + (
+            timeout if timeout is not None else self.default_timeout)
         job.future = asyncio.run_coroutine_threadsafe(
-            self._handle(job, timeout), self._loop
+            self._handle(job), self._loop
         )
         return job
 
@@ -307,8 +331,10 @@ class JobEngine:
         self.counters["requests"] += 1
         self.counters["sweeps"] += 1
         job = self._new_job("sweep", request)
+        job.deadline_mono = time.monotonic() + (
+            timeout if timeout is not None else self.default_timeout)
         job.future = asyncio.run_coroutine_threadsafe(
-            self._handle_sweep(job, timeout), self._loop
+            self._handle_sweep(job), self._loop
         )
         return job
 
@@ -322,13 +348,16 @@ class JobEngine:
 
     # -- request handling (loop thread) --------------------------------
 
-    async def _handle(self, job: Job, timeout: float | None) -> dict:
+    async def _handle(self, job: Job) -> dict:
         t0 = time.perf_counter()
         job.state = "running"
         try:
+            # the deadline was stamped on the monotonic clock at
+            # admission; a wall-clock (NTP) step between then and now
+            # cannot stretch or shrink it
             result = await asyncio.wait_for(
                 self._request(job.kind, job.request, job),
-                timeout if timeout is not None else self.default_timeout,
+                job.remaining_s(),
             )
             job.result = result
             job.state = "done"
@@ -345,11 +374,12 @@ class JobEngine:
             self.counters["errors"] += 1
             raise
         finally:
-            job.finished = time.time()
+            job.finished = time.time()  # display only
+            job.elapsed_s = round(time.monotonic() - job.created_mono, 6)
             self._latencies.append(time.perf_counter() - t0)
             self._release(1)
 
-    async def _handle_sweep(self, job: Job, timeout: float | None) -> dict:
+    async def _handle_sweep(self, job: Job) -> dict:
         t0 = time.perf_counter()
         job.state = "running"
         req = job.request
@@ -364,7 +394,7 @@ class JobEngine:
             hits0 = self.counters["hits"]
             results = await asyncio.wait_for(
                 asyncio.gather(*(self._request("run", s, None) for s in subs)),
-                timeout if timeout is not None else self.default_timeout,
+                job.remaining_s(),
             )
             result = {
                 "configs": len(subs),
@@ -389,7 +419,8 @@ class JobEngine:
             self.counters["errors"] += 1
             raise
         finally:
-            job.finished = time.time()
+            job.finished = time.time()  # display only
+            job.elapsed_s = round(time.monotonic() - job.created_mono, 6)
             self._latencies.append(time.perf_counter() - t0)
             self._release(len(subs))
 
@@ -513,6 +544,23 @@ class JobEngine:
             with self._lock:
                 self._degraded_serves += 1
         return cached
+
+    def store_put(self, key: str, payload: dict) -> bool:
+        """Persist a payload computed *elsewhere* into this node's store
+        shard (thread-safe: bounced onto the engine loop, which owns the
+        store handle).  The cluster layer uses this to land work-stolen
+        and forwarded results on the key's owning shard."""
+        if self.store is None or self._closed:
+            return False
+
+        async def _write():
+            return self.store.put(key, payload) is not None
+
+        try:
+            return asyncio.run_coroutine_threadsafe(
+                _write(), self._loop).result(timeout=10.0)
+        except Exception:
+            return False
 
     # -- metrics --------------------------------------------------------
 

@@ -57,6 +57,20 @@ class ServiceError(Exception):
         self.status = status
 
 
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer with a load-worthy listen backlog.
+
+    The stdlib default backlog is 5: under a concurrent load generator
+    (or a router fanning a sweep out cell-wise) the accept queue
+    overflows and the kernel resets connections before the handler ever
+    sees them.  128 matches the admission-control queue bound — beyond
+    that the service is shedding anyway.
+    """
+
+    request_queue_size = 128
+    daemon_threads = True
+
+
 class _DroppedResponse(Exception):
     """Injected ``server.drop_response``: abandon the connection."""
 
@@ -134,20 +148,24 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self):  # noqa: N802
         try:
-            if self.path == "/healthz":
-                self._send(200, self.engine.health())
-            elif self.path == "/metrics":
-                self._send(200, self.engine.metrics())
-            elif self.path.startswith("/v1/jobs/"):
-                jid = self.path[len("/v1/jobs/"):]
-                job = self.engine.job(jid)
-                if job is None:
-                    raise ServiceError(404, f"unknown job {jid!r}")
-                self._send(200, job.as_dict())
-            else:
-                raise ServiceError(404, f"no route {self.path!r}")
+            self._handle_get()
         except ServiceError as e:
             self._send(e.status, {"error": str(e)})
+
+    def _handle_get(self) -> None:
+        """GET route table (the cluster node handler extends this)."""
+        if self.path == "/healthz":
+            self._send(200, self.engine.health())
+        elif self.path == "/metrics":
+            self._send(200, self.engine.metrics())
+        elif self.path.startswith("/v1/jobs/"):
+            jid = self.path[len("/v1/jobs/"):]
+            job = self.engine.job(jid)
+            if job is None:
+                raise ServiceError(404, f"unknown job {jid!r}")
+            self._send(200, job.as_dict())
+        else:
+            raise ServiceError(404, f"no route {self.path!r}")
 
     def do_POST(self):  # noqa: N802
         try:
@@ -157,51 +175,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _do_post(self) -> None:
         try:
-            body = self._body()
-            if self.path in ("/v1/compile", "/v1/run"):
-                kind = self.path.rsplit("/", 1)[1]
-                f = _req_fields(body)
-                timeout = f.pop("timeout")
-                try:
-                    job = self.engine.submit(kind, **f, timeout=timeout)
-                except KeyError as e:
-                    raise ServiceError(400, f"unknown workload {e}") from None
-                except Overloaded:
-                    # graceful degradation: a stored result beats a 429
-                    stale = self.engine.degraded_lookup(kind, f)
-                    if stale is None:
-                        raise
-                    self._send(200, {"job": None, "cache": "degraded",
-                                     "degraded": True, "result": stale})
-                    return
-                result = self.engine.wait(job)
-                self._send(200, {"job": job.id, "cache": job.cache,
-                                 "result": result})
-            elif self.path == "/v1/sweep":
-                try:
-                    workloads = [str(w) for w in body["workloads"]]
-                    levels = [int(x) for x in body.get("levels",
-                                                       (0, 1, 2, 3, 4))]
-                    widths = [int(x) for x in body.get("widths",
-                                                       (1, 2, 4, 8))]
-                    seed = int(body.get("seed", 0))
-                    check = bool(body.get("check", True))
-                    timeout = (float(body["timeout"])
-                               if "timeout" in body else None)
-                except (KeyError, TypeError, ValueError) as e:
-                    raise ServiceError(400, f"bad request: {e!r}") from None
-                try:
-                    job = self.engine.submit_sweep(
-                        workloads, levels, widths, seed=seed, check=check,
-                        disable=tuple(body.get("disable", ())),
-                        timeout=timeout,
-                    )
-                except KeyError as e:
-                    raise ServiceError(400, f"unknown workload {e}") from None
-                self._send(202, {"job": job.id, "state": job.state,
-                                 "configs": job.request["configs"]})
-            else:
-                raise ServiceError(404, f"no route {self.path!r}")
+            self._handle_post(self._body())
         except _DroppedResponse:
             raise  # handled by do_POST: abandon the connection
         except Overloaded as e:
@@ -214,6 +188,71 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(e.status, {"error": str(e)})
         except Exception as e:  # compilation/simulation failure
             self._send(500, {"error": repr(e)})
+
+    def _handle_post(self, body: dict) -> None:
+        """POST route table (the cluster node handler extends this)."""
+        if self.path in ("/v1/compile", "/v1/run"):
+            kind = self.path.rsplit("/", 1)[1]
+            f = _req_fields(body)
+            timeout = f.pop("timeout")
+            self._serve_single(kind, f, timeout)
+        elif self.path == "/v1/sweep":
+            self._serve_sweep(body)
+        else:
+            raise ServiceError(404, f"no route {self.path!r}")
+
+    def _serve_single(self, kind: str, f: dict, timeout: float | None,
+                      extra: dict | None = None) -> None:
+        """One blocking compile/run through the local engine."""
+        try:
+            job = self.engine.submit(kind, **f, timeout=timeout)
+        except KeyError as e:
+            raise ServiceError(400, f"unknown workload {e}") from None
+        except Overloaded:
+            reply = self._on_overload(kind, f, timeout)
+            if reply is None:
+                raise
+            self._send(200, {**reply, **(extra or {})})
+            return
+        result = self.engine.wait(job)
+        self._send(200, {"job": job.id, "cache": job.cache,
+                         "result": result, **(extra or {})})
+
+    def _on_overload(self, kind: str, f: dict,
+                     timeout: float | None) -> dict | None:
+        """Admission shed a request: a reply dict to serve instead of the
+        429, or None to shed for real.  Base behavior is graceful
+        degradation — a stored result beats a 429; the cluster node
+        handler tries work-stealing to a peer first."""
+        stale = self.engine.degraded_lookup(kind, f)
+        if stale is None:
+            return None
+        return {"job": None, "cache": "degraded", "degraded": True,
+                "result": stale}
+
+    def _serve_sweep(self, body: dict) -> None:
+        try:
+            workloads = [str(w) for w in body["workloads"]]
+            levels = [int(x) for x in body.get("levels",
+                                               (0, 1, 2, 3, 4))]
+            widths = [int(x) for x in body.get("widths",
+                                               (1, 2, 4, 8))]
+            seed = int(body.get("seed", 0))
+            check = bool(body.get("check", True))
+            timeout = (float(body["timeout"])
+                       if "timeout" in body else None)
+        except (KeyError, TypeError, ValueError) as e:
+            raise ServiceError(400, f"bad request: {e!r}") from None
+        try:
+            job = self.engine.submit_sweep(
+                workloads, levels, widths, seed=seed, check=check,
+                disable=tuple(body.get("disable", ())),
+                timeout=timeout,
+            )
+        except KeyError as e:
+            raise ServiceError(400, f"unknown workload {e}") from None
+        self._send(202, {"job": job.id, "state": job.state,
+                         "configs": job.request["configs"]})
 
 
 def make_server(
@@ -232,8 +271,7 @@ def make_server(
     engine = JobEngine(store=store, jobs=jobs, max_pending=max_pending,
                        default_timeout=default_timeout)
     handler = type("Handler", (_Handler,), {"engine": engine, "quiet": quiet})
-    httpd = ThreadingHTTPServer((host, port), handler)
-    httpd.daemon_threads = True
+    httpd = ServiceHTTPServer((host, port), handler)
     return httpd, engine
 
 

@@ -24,9 +24,14 @@ Guarantees:
   a mismatch is a miss and the stale blob is deleted.
 * **LRU size-capped eviction** — ``max_bytes`` caps the total blob
   size; inserting past the cap evicts least-recently-*used* blobs
-  (reads refresh recency).  The index is best-effort: if it is lost or
-  torn, it is rebuilt by scanning ``objects/`` (recency degrades to
-  file mtime, correctness is unaffected).
+  (reads refresh recency).  Recency is a *logical use counter*, not a
+  wall-clock stamp: ``time.time()`` can step backwards (NTP, manual
+  resets) and across machines two stores' clocks never agree, either of
+  which would silently reorder eviction and throw away the hottest
+  blob.  The counter is persisted in the index and survives reopen; a
+  lost or torn index is rebuilt by scanning ``objects/`` (recency
+  degrades to file-mtime *rank*, re-assigned deterministically, and
+  correctness is unaffected).
 * **Classified failure handling** — write and eviction I/O errors run
   through the :mod:`repro.resilience.errors` taxonomy: transient ones
   (``ENOSPC``, ``EIO``, ...) are retried under the shared
@@ -91,7 +96,7 @@ class StoreStats:
 @dataclass
 class _Entry:
     size: int
-    used: float  # monotonic-ish recency stamp (wall clock is fine)
+    used: int  # logical-use counter: higher = more recently used
 
 
 @dataclass
@@ -140,28 +145,47 @@ class ArtifactStore:
     def _load_index(self) -> None:
         try:
             raw = json.loads(self._index_path.read_text())
-            entries = {
-                k: _Entry(int(v["size"]), float(v["used"]))
+            # ``used`` may be a legacy wall-clock float from an index
+            # written before the logical counter; it is only used as a
+            # rank below, so both forms load fine
+            loaded = [
+                (k, int(v["size"]), float(v["used"]))
                 for k, v in raw.get("entries", {}).items()
-            }
+            ]
         except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
-            entries = None
-        if entries is None:
-            # rebuild from a directory scan; recency falls back to mtime
-            entries = {}
+            loaded = None
+        if loaded is None:
+            # rebuild from a directory scan; recency falls back to the
+            # blobs' mtime *rank* (ties broken by key, so the rebuild is
+            # deterministic for a given set of files)
+            loaded = []
             for p in self._objects.glob("??/*.json"):
                 try:
                     st = p.stat()
                 except OSError:
                     continue
-                entries[p.stem] = _Entry(st.st_size, st.st_mtime)
+                loaded.append((p.stem, st.st_size, st.st_mtime))
         else:
             # drop index entries whose blob vanished (another process
             # evicted or quarantined it)
-            entries = {
-                k: e for k, e in entries.items() if self._blob_path(k).exists()
-            }
-        self._index = entries
+            loaded = [
+                (k, size, used) for k, size, used in loaded
+                if self._blob_path(k).exists()
+            ]
+        # re-rank into compact logical counters 1..n, preserving order:
+        # only the *order* of recency stamps matters for LRU, and ranks
+        # are immune to whatever clock produced the originals
+        loaded.sort(key=lambda t: (t[2], t[0]))
+        self._index = {
+            k: _Entry(size, rank)
+            for rank, (k, size, _) in enumerate(loaded, start=1)
+        }
+        self._use_seq = len(loaded)
+
+    def _next_use(self) -> int:
+        """The next logical-use stamp (never goes backwards)."""
+        self._use_seq += 1
+        return self._use_seq
 
     def _save_index(self) -> None:
         payload = {
@@ -210,9 +234,9 @@ class ArtifactStore:
         self.stats.hits += 1
         e = self._index.get(key)
         if e is None:
-            self._index[key] = _Entry(len(raw), time.time())
+            self._index[key] = _Entry(len(raw), self._next_use())
         else:
-            e.used = time.time()
+            e.used = self._next_use()
         return env["payload"]
 
     def put(self, key: str, payload) -> Path | None:
@@ -244,7 +268,7 @@ class ArtifactStore:
             self.stats.put_failures += 1
             log_tolerated(f"store.put {key[:16]}", e)
             return None
-        self._index[key] = _Entry(len(data.encode()), time.time())
+        self._index[key] = _Entry(len(data.encode()), self._next_use())
         self.stats.puts += 1
         if self.max_bytes is not None:
             self._evict_to(self.max_bytes, keep=key)

@@ -258,3 +258,31 @@ class TestServiceDegradation:
         finally:
             httpd.shutdown()
             engine.close()
+
+
+# ---------------------------------------------------------------------------
+# cluster node-kill: a whole node dies, the fleet's answers don't change
+# ---------------------------------------------------------------------------
+
+
+class TestClusterChaos:
+    def test_node_kill_reconciles_exactly(self, tmp_path):
+        """SIGKILL a whole node (engine + fork pool + store shard)
+        mid-batch: every request is served byte-identically to a
+        fault-free single-node baseline, the router's failovers match
+        the ring's prediction exactly, and the victim's lost artifacts
+        are recomputed exactly once each."""
+        from repro.cluster.chaos import run_cluster_chaos
+
+        report = run_cluster_chaos(
+            nodes=3, jobs=1,
+            workloads=("add", "sum"), levels=(0, 4), widths=(1, 8),
+            workdir=tmp_path, out=tmp_path / "report.json", verbose=False)
+        assert report["ok"], report["checks"]
+        # the kill must have actually disturbed the batch: the victim
+        # owned second-half keys, so failovers are inevitable
+        assert report["router"]["failovers"] > 0
+        assert report["victim_owned"]["second_half"] > 0
+        assert (tmp_path / "report.json").exists()
+        assert json.loads(
+            (tmp_path / "report.json").read_text())["ok"] is True

@@ -1,0 +1,90 @@
+"""Clock-correctness units: ``Retry-After`` parsing (both RFC 9110
+forms) and monotonic job deadlines.
+
+These pin the bugfix sweep's client/jobs halves: a server-suggested
+backoff must be honored whether it arrives as delta-seconds or an
+HTTP-date, and a job's deadline must be immune to wall-clock steps.
+"""
+
+import time
+
+from repro.service.client import CLIENT_RETRY, ServiceClient, parse_retry_after
+from repro.service.jobs import Job
+
+
+class TestParseRetryAfter:
+    # a fixed "now": Fri, 08 Aug 2026 12:00:00 GMT as a POSIX stamp
+    NOW = 1786190400.0
+
+    def test_delta_seconds(self):
+        assert parse_retry_after("5") == 5.0
+        assert parse_retry_after("0") == 0.0
+        assert parse_retry_after(" 2 ") == 2.0
+        assert parse_retry_after("1.5") == 1.5
+
+    def test_negative_delta_clamps_to_zero(self):
+        assert parse_retry_after("-3") == 0.0
+
+    def test_http_date(self):
+        # 30 seconds past the injected now
+        assert parse_retry_after(
+            "Fri, 08 Aug 2026 12:00:30 GMT", now=self.NOW) == 30.0
+
+    def test_http_date_in_the_past_clamps_to_zero(self):
+        assert parse_retry_after(
+            "Fri, 08 Aug 2026 11:59:00 GMT", now=self.NOW) == 0.0
+
+    def test_http_date_without_zone_is_utc(self):
+        # RFC 5322 allows zone-less dates; they must not be read as
+        # local time (a +12h zone would turn 0s of backoff into 12h)
+        assert parse_retry_after(
+            "Fri, 08 Aug 2026 12:00:10", now=self.NOW) == 10.0
+
+    def test_unparseable_is_none(self):
+        assert parse_retry_after(None) is None
+        assert parse_retry_after("") is None
+        assert parse_retry_after("soon") is None
+        assert parse_retry_after("Fri, 99 Zed 2026") is None
+
+    def test_uses_real_clock_when_now_omitted(self):
+        # a date ~1h ahead of the real wall clock: the returned delay
+        # must be positive and bounded, whatever "now" is during the run
+        when = time.time() + 3600
+        date = time.strftime("%a, %d %b %Y %H:%M:%S GMT", time.gmtime(when))
+        got = parse_retry_after(date)
+        assert 3590.0 <= got <= 3610.0
+
+
+class TestClientHeaders:
+    def test_extra_headers_are_carried(self):
+        c = ServiceClient("http://127.0.0.1:1", headers={"X-Repro-Hop": "route"})
+        assert c.headers == {"X-Repro-Hop": "route"}
+        # the default retry policy is the shared one, unchanged
+        assert c.retry is CLIENT_RETRY
+
+
+class TestMonotonicDeadlines:
+    def test_deadline_is_monotonic_not_wall_clock(self, monkeypatch):
+        job = Job("job-000001", "run", {})
+        job.deadline_mono = time.monotonic() + 5.0
+        # a violent wall-clock step in either direction must not move
+        # the deadline: remaining_s consults only the monotonic clock
+        monkeypatch.setattr(time, "time", lambda: 0.0)
+        assert 4.0 < job.remaining_s() <= 5.0
+        monkeypatch.setattr(time, "time", lambda: 4e9)
+        assert 4.0 < job.remaining_s() <= 5.0
+
+    def test_no_deadline_means_unbounded(self):
+        job = Job("job-000002", "run", {})
+        assert job.deadline_mono is None
+        assert job.remaining_s() is None
+
+    def test_as_dict_exposes_display_times_and_elapsed(self):
+        job = Job("job-000003", "run", {})
+        d = job.as_dict()
+        # wall-clock fields exist for humans; elapsed comes from the
+        # monotonic clock and is None until the job finishes
+        assert d["created"] > 0
+        assert d["finished"] is None
+        assert d["elapsed_s"] is None
+        assert "deadline_mono" not in d  # internal, not API

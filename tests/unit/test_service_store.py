@@ -295,3 +295,87 @@ class TestStoreResilience:
         assert s.stats.tmp_cleaned == 1
         assert not dead.exists()
         assert fresh.exists()
+
+
+class TestClockCorrectness:
+    """LRU recency is a logical-use counter, never a wall-clock stamp.
+
+    Regression: recency used to be ``time.time()``; a backwards clock
+    step (NTP correction, manual reset) between a put and a refreshing
+    read stamped the *hottest* blob as the oldest and evicted it first.
+    """
+
+    def test_recency_survives_a_backwards_wall_clock(self, tmp_path,
+                                                     monkeypatch):
+        import time as time_mod
+
+        t = [1_000_000_000.0]
+
+        def backwards():
+            t[0] -= 100.0  # the wall clock is stepping backwards
+            return t[0]
+
+        monkeypatch.setattr(time_mod, "time", backwards)
+        store = ArtifactStore(tmp_path / "s", max_bytes=7_000)
+        pad = "x" * 3000  # ~3.1KB with envelope: two fit, three do not
+        store.put(key_of(70), {"pad": pad})
+        store.put(key_of(71), {"pad": pad})
+        assert store.get(key_of(70)) is not None  # 70 now most recent
+        store.put(key_of(72), {"pad": pad})       # pushes past the cap
+        # under wall-clock recency the refreshed 70 would carry the
+        # *oldest* stamp and be evicted; the logical counter keeps it
+        assert store.get(key_of(71)) is None
+        assert store.get(key_of(70)) is not None
+        assert store.get(key_of(72)) is not None
+
+    def test_use_counter_persists_across_reopen(self, tmp_path):
+        pad = "x" * 3000  # ~3.1KB with envelope: three fit, four do not
+        store = ArtifactStore(tmp_path / "s", max_bytes=10_500)
+        store.put(key_of(73), {"pad": pad})
+        store.put(key_of(74), {"pad": pad})
+        assert store.get(key_of(73)) is not None  # 74 is now the LRU
+        store.put(key_of(75), {"pad": pad})       # persists the index
+
+        reopened = ArtifactStore(tmp_path / "s", max_bytes=10_500)
+        reopened.put(key_of(79), {"pad": pad})    # past the cap: evict LRU
+        assert reopened.get(key_of(74)) is None
+        assert reopened.get(key_of(73)) is not None
+        assert reopened.get(key_of(75)) is not None
+
+    def test_legacy_wall_clock_index_loads_as_rank(self, tmp_path):
+        """An index written by the old code carries wall-clock floats in
+        ``used``; they load as a recency *rank* (order preserved) and
+        are re-stamped as logical counters."""
+        pad = "x" * 3000
+        store = ArtifactStore(tmp_path / "s", max_bytes=7_000)
+        store.put(key_of(76), {"pad": pad})
+        store.put(key_of(77), {"pad": pad})
+        # rewrite the index the way the old code would have: wall-clock
+        # stamps, with 77 older than 76
+        idx = json.loads((tmp_path / "s" / "index.json").read_text())
+        idx["entries"][key_of(76)]["used"] = 1_700_000_000.75
+        idx["entries"][key_of(77)]["used"] = 1_600_000_000.25
+        (tmp_path / "s" / "index.json").write_text(json.dumps(idx))
+
+        reopened = ArtifactStore(tmp_path / "s", max_bytes=7_000)
+        reopened.put(key_of(78), {"pad": pad})
+        assert reopened.get(key_of(77)) is None   # oldest by float order
+        assert reopened.get(key_of(76)) is not None
+
+    def test_scan_rebuild_ranks_deterministically_by_mtime(self, tmp_path):
+        import os as _os
+
+        pad = "x" * 3000
+        store = ArtifactStore(tmp_path / "s", max_bytes=None)
+        for i in (80, 81, 82):
+            store.put(key_of(i), {"pad": pad})
+        (tmp_path / "s" / "index.json").unlink()
+        # make 81 the stale one on disk, regardless of write order
+        for i, mtime in ((80, 3000.0), (81, 1000.0), (82, 2000.0)):
+            p = store._blob_path(key_of(i))
+            _os.utime(p, (mtime, mtime))
+
+        rebuilt = ArtifactStore(tmp_path / "s", max_bytes=7_000)
+        rebuilt.put(key_of(83), {"pad": pad})
+        assert rebuilt.get(key_of(81)) is None
+        assert rebuilt.get(key_of(80)) is not None
