@@ -23,6 +23,16 @@ def test_table1(benchmark, figures):
     assert PAPER_LATENCIES[Kind.LOAD] == 2
     assert PAPER_LATENCIES[Kind.STORE] == 1
     assert PAPER_LATENCIES[Kind.BRANCH] == 1
+    # the Lev5 vector rows mirror their scalar Table-1 counterparts:
+    # a lane-parallel op costs what one scalar element costs
+    assert PAPER_LATENCIES[Kind.VEC_IALU] == PAPER_LATENCIES[Kind.INT_ALU]
+    assert PAPER_LATENCIES[Kind.VEC_IMUL] == PAPER_LATENCIES[Kind.INT_MUL]
+    assert PAPER_LATENCIES[Kind.VEC_FALU] == PAPER_LATENCIES[Kind.FP_ALU]
+    assert PAPER_LATENCIES[Kind.VEC_FMUL] == PAPER_LATENCIES[Kind.FP_MUL]
+    assert PAPER_LATENCIES[Kind.VEC_FDIV] == PAPER_LATENCIES[Kind.FP_DIV]
+    assert PAPER_LATENCIES[Kind.VEC_LOAD] == PAPER_LATENCIES[Kind.LOAD]
+    assert PAPER_LATENCIES[Kind.VEC_STORE] == PAPER_LATENCIES[Kind.STORE]
+    assert PAPER_LATENCIES[Kind.VEC_PACK] == 1
 
     f = parse_function(
         """

@@ -1,7 +1,7 @@
 """Shared fixtures for the figure-regeneration benchmarks.
 
 ``sweep_data`` runs (or loads from ``results/sweep.json``) the full
-40-loop x 5-level x 4-width evaluation grid once per session; the
+40-loop x 6-level x 4-width evaluation grid once per session; the
 individual benchmarks time representative pipeline configurations and
 print/write the regenerated tables and figures.
 """

@@ -85,7 +85,8 @@ def speculable(
     if ins.is_load and not machine.speculative_loads:
         return False
     k = ins.kind
-    if k in (Kind.FP_ALU, Kind.FP_MUL, Kind.FP_DIV, Kind.FP_CVT) and not machine.speculative_fp:
+    if k in (Kind.FP_ALU, Kind.FP_MUL, Kind.FP_DIV, Kind.FP_CVT,
+             Kind.VEC_FALU, Kind.VEC_FMUL, Kind.VEC_FDIV) and not machine.speculative_fp:
         return False
     if ins.dest is not None:
         if target_live is None:
@@ -158,9 +159,13 @@ def build_depgraph(
                 ins_j = instrs[j]
                 if not (ins_i.is_store or ins_j.is_store):
                     continue  # load-load: independent
-                if doall and ins_i.tag != ins_j.tag:
-                    continue  # different iterations of a DOALL loop
-                if not may_alias(exprs[i], exprs[j]):
+                if (doall and ins_i.tag != ins_j.tag
+                        and not (ins_i.is_vector or ins_j.is_vector)):
+                    # different iterations of a DOALL loop; a vector access
+                    # spans several iterations, so its tag proves nothing
+                    continue
+                if not may_alias(exprs[i], exprs[j],
+                                 ins_i.mem_words, ins_j.mem_words):
                     continue
                 if ins_i.is_store:
                     g.add_edge(i, j, 1)  # flow or output

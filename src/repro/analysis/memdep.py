@@ -232,18 +232,28 @@ class AddressAnalysis:
         return self.operand_expr(base, idx).plus(self.operand_expr(off, idx))
 
 
-def may_alias(a: AddrExpr, b: AddrExpr) -> bool:
-    """Conservative alias test between two address expressions."""
+def may_alias(a: AddrExpr, b: AddrExpr, size_a: int = 1, size_b: int = 1) -> bool:
+    """Conservative alias test between two address expressions.
+
+    ``size_a`` / ``size_b`` are access footprints in words (vector memory
+    ops touch ``lanes`` consecutive words from their base address).
+    """
     # distinct array bases never alias
     sa, sb = a.base_syms, b.base_syms
     if len(sa) == 1 and len(sb) == 1 and sa != sb:
         return False
     if a.terms == b.terms:
-        return a.const == b.const
+        if size_a == 1 and size_b == 1:
+            return a.const == b.const
+        # byte-range overlap: [const, const + 4*size) half-open intervals
+        return a.const < b.const + 4 * size_b and b.const < a.const + 4 * size_a
     return True
 
 
 def memory_independent(analysis: AddressAnalysis, i: int, j: int) -> bool:
     """True when memory instructions at positions i and j provably do not
     access the same word."""
-    return not may_alias(analysis.address_expr(i), analysis.address_expr(j))
+    return not may_alias(
+        analysis.address_expr(i), analysis.address_expr(j),
+        analysis.instrs[i].mem_words, analysis.instrs[j].mem_words,
+    )

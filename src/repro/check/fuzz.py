@@ -5,7 +5,10 @@ set of shapes.  The fuzzer generates random kernels from a small template
 algebra — elementwise fp, reductions, guarded stores, integer div/rem
 chains, searches, optional outer loop, static or symbolic trip counts —
 and pushes each through the full differential oracle
-(:func:`repro.check.oracle.check_workload`).
+(:func:`repro.check.oracle.check_workload`).  Three templates are
+vector-shaped on purpose — isomorphic elementwise pairs, same-array
+load/store smoothing, and an integer reduction — so the Lev5 SLP
+packer (and its aliasing and cost-model refusals) is fuzzed too.
 
 Every generated case is checked against an **AST-level interpreter**
 (:func:`interpret_kernel`) that never sees the compiler at all, so the
@@ -154,6 +157,12 @@ _TEMPLATES: dict[str, tuple[bool, dict, dict, tuple, tuple]] = {
     "imath": (True, {"JI": Ty.INT, "KI": Ty.INT, "LI": Ty.INT}, {}, (), ()),
     "dot": (False, {"A": Ty.FP, "B": Ty.FP}, {"s": Ty.FP}, ("s",), ("s",)),
     "amax": (False, {"A": Ty.FP}, {"mx": Ty.FP}, ("mx",), ("mx",)),
+    # vector-shaped templates: unrolled copies are isomorphic with
+    # adjacent memory, so Lev5 SLP packing fires on them
+    "pair": (True, {"A": Ty.FP, "B": Ty.FP, "C2": Ty.FP, "D2": Ty.FP,
+                    "F": Ty.FP, "G": Ty.FP}, {}, (), ()),
+    "smooth": (True, {"A": Ty.FP, "B": Ty.FP}, {"x": Ty.FP}, ("x",), ()),
+    "isum": (False, {"JI": Ty.INT}, {"k": Ty.INT}, ("k",), ("k",)),
 }
 
 
@@ -181,6 +190,22 @@ def _template_body(name: str, spec: CaseSpec) -> list[Stmt]:
         ]
     if name == "dot":
         return [assign(var("s"), var("s") + aref("A", i) * aref("B", i))]
+    if name == "pair":
+        # two interleaved elementwise streams: the packer must form the
+        # F and G components independently (different ops, disjoint
+        # arrays) even though their statements alternate in the body
+        return [
+            assign(aref("F", i), aref("A", i) + aref("B", i)),
+            assign(aref("G", i), aref("C2", i) - aref("D2", i)),
+        ]
+    if name == "smooth":
+        # loads and stores the same array at the same index: a packed
+        # load of B must not be hoisted across a packed store to B
+        return [assign(aref("B", i), (aref("B", i) + aref("A", i)) * var("x"))]
+    if name == "isum":
+        # integer reduction: exercises exact (bit-identical) integer
+        # accumulator packing, not just the fp reassociating variant
+        return [assign(var("k"), var("k") + aref("JI", i))]
     if name == "amax":
         return [if_(aref("A", i) > var("mx"),
                     [assign(var("mx"), aref("A", i))], p_then=0.25)]

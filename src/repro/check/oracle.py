@@ -1,6 +1,6 @@
 """The differential correctness oracle (cross-level semantic checking).
 
-The paper's result table rests on the claim that Lev1..Lev4 binaries
+The paper's result table rests on the claim that Lev1..Lev5 binaries
 compute the same answers as Conv — unrolling with preconditioning,
 renaming, expansion, combining, and strength reduction are only valid if
 they are semantics-preserving (Section 2).  The oracle makes that claim
@@ -13,8 +13,9 @@ checkable:
    pipeline, simulated, and its final state compared against the golden
    state **bit-identically**;
 3. configurations where a value-reassociating transformation fired
-   (accumulator expansion, tree height reduction — they reorder fp
-   reductions by design) are compared under the workload's documented
+   (accumulator expansion, tree height reduction, serial-chain SLP
+   reduction packing — they reorder fp reductions by design) are
+   compared under the workload's documented
    tolerance instead, and the report says so;
 4. the simulator's end state is additionally cross-checked bit-identically
    against a reference evaluation of the *same* final scheduled IR:
@@ -47,7 +48,7 @@ class Divergence:
     """One configuration whose result differs from the golden state."""
 
     workload: str
-    level: str            # level label ("Conv".."Lev4"), or "-" pre-compile
+    level: str            # level label ("Conv".."Lev5"), or "-" pre-compile
     width: int
     kind: str  # array | scalar | sim-vs-ref | engine-vs-engine | compile-error | golden
     detail: str
@@ -181,9 +182,12 @@ def check_workload(
         except Exception as e:  # noqa: BLE001
             divs.append(Divergence(w.name, level.label, 0, "compile-error", repr(e)))
             continue
-        # accumulator expansion and tree height reduction reassociate fp
-        # reductions by design; only they may relax bit-identity
-        exact = tk.report.accumulators == 0 and tk.report.trees == 0
+        # accumulator expansion, tree height reduction, and serial-chain
+        # SLP reduction packing reassociate fp reductions by design; only
+        # they may relax bit-identity (exact-variant SLP packs keep every
+        # per-lane chain intact and stay bit-identical)
+        exact = (tk.report.accumulators == 0 and tk.report.trees == 0
+                 and tk.report.slp_reassoc == 0)
         for i, width in enumerate(widths):
             machine = MachineConfig(issue_width=width)
             try:

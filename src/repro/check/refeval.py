@@ -35,7 +35,7 @@ from ..frontend.lower import LoweredKernel, lower_kernel
 from ..ir.function import Function
 from ..ir.instructions import Instr, Kind, Op
 from ..ir.operands import FImm, Imm, Reg, RegClass, Sym
-from ..sim.executor import ALU_SEMANTICS, CMP_SEMANTICS
+from ..sim.executor import ALU_SEMANTICS, CMP_SEMANTICS, VEC_SEMANTICS
 from ..sim.memory import Memory
 
 
@@ -83,6 +83,10 @@ def ref_eval(
     memory = memory if memory is not None else Memory()
     ivals: dict[int, int] = dict(iregs or {})
     fvals: dict[int, float] = dict(fregs or {})
+    vivals: dict[int, tuple] = {}
+    vfvals: dict[int, tuple] = {}
+    banks = {RegClass.INT: ivals, RegClass.FP: fvals,
+             RegClass.VINT: vivals, RegClass.VFP: vfvals}
     symbols = memory.symbols
     words = memory._words
     stores: list[StoreEvent] = []
@@ -91,12 +95,12 @@ def ref_eval(
     blocks = [b.instrs for b in func.blocks]
     alu2 = ALU_SEMANTICS
     cmp = CMP_SEMANTICS
+    vec2 = VEC_SEMANTICS
 
     def fetch(s, ins: Instr):
         if isinstance(s, Reg):
-            bank = ivals if s.cls is RegClass.INT else fvals
             try:
-                return bank[s.id]
+                return banks[s.cls][s.id]
             except KeyError:
                 raise RefEvalError(
                     f"read of uninitialized register {s} at {ins!r}"
@@ -127,6 +131,7 @@ def ref_eval(
                 )
             op = ins.op
             fn2 = alu2.get(op)
+            vfn2 = vec2.get(op)
             if fn2 is not None:
                 a = fetch(ins.srcs[0], ins)
                 b = fetch(ins.srcs[1], ins)
@@ -134,11 +139,9 @@ def ref_eval(
                     res = fn2(a, b)
                 except ZeroDivisionError:
                     raise RefEvalError(f"division by zero: {ins!r}") from None
-                bank = ivals if ins.dest.cls is RegClass.INT else fvals
-                bank[ins.dest.id] = res
+                banks[ins.dest.cls][ins.dest.id] = res
             elif op is Op.MOV or op is Op.FMOV:
-                bank = ivals if ins.dest.cls is RegClass.INT else fvals
-                bank[ins.dest.id] = fetch(ins.srcs[0], ins)
+                banks[ins.dest.cls][ins.dest.id] = fetch(ins.srcs[0], ins)
             elif op is Op.ITOF:
                 fvals[ins.dest.id] = float(fetch(ins.srcs[0], ins))
             elif op is Op.FTOI:
@@ -151,14 +154,48 @@ def ref_eval(
                     raise RefEvalError(
                         f"load from uninitialized address {addr:#x}: {ins!r}"
                     ) from None
-                bank = ivals if ins.dest.cls is RegClass.INT else fvals
-                bank[ins.dest.id] = v
+                banks[ins.dest.cls][ins.dest.id] = v
             elif ins.kind is Kind.STORE:
                 addr = fetch(ins.srcs[0], ins) + fetch(ins.srcs[1], ins)
                 v = fetch(ins.srcs[2], ins)
                 words[addr >> 2] = v
                 if log_stores:
                     stores.append(StoreEvent(steps, addr, v, ins))
+            elif vfn2 is not None:
+                a = fetch(ins.srcs[0], ins)
+                b = fetch(ins.srcs[1], ins)
+                try:
+                    res = vfn2(a, b)
+                except ZeroDivisionError:
+                    raise RefEvalError(f"division by zero: {ins!r}") from None
+                banks[ins.dest.cls][ins.dest.id] = res
+            elif op is Op.VEXT or op is Op.VEXTF:
+                v = fetch(ins.srcs[0], ins)
+                banks[ins.dest.cls][ins.dest.id] = v[ins.srcs[1].value]
+            elif op is Op.VPACK or op is Op.VPACKF:
+                banks[ins.dest.cls][ins.dest.id] = tuple(
+                    fetch(s, ins) for s in ins.srcs
+                )
+            elif ins.kind is Kind.VEC_LOAD:
+                addr = fetch(ins.srcs[0], ins) + fetch(ins.srcs[1], ins)
+                w = addr >> 2
+                try:
+                    v = tuple(words[w + j] for j in range(ins.lanes))
+                except KeyError:
+                    raise RefEvalError(
+                        f"load from uninitialized address {addr:#x}: {ins!r}"
+                    ) from None
+                banks[ins.dest.cls][ins.dest.id] = v
+            elif ins.kind is Kind.VEC_STORE:
+                addr = fetch(ins.srcs[0], ins) + fetch(ins.srcs[1], ins)
+                v = fetch(ins.srcs[2], ins)
+                w = addr >> 2
+                for j in range(ins.lanes):
+                    words[w + j] = v[j]
+                    if log_stores:
+                        stores.append(
+                            StoreEvent(steps, addr + 4 * j, v[j], ins)
+                        )
             elif ins.is_branch:
                 taken = cmp[op](fetch(ins.srcs[0], ins), fetch(ins.srcs[1], ins))
                 if taken:

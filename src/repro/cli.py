@@ -362,7 +362,8 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("compile", help="print IR through the pipeline")
     p.add_argument("workload")
-    p.add_argument("--level", type=int, default=4, choices=range(5))
+    p.add_argument("--level", type=int, default=4,
+                   choices=[int(l) for l in Level])
     p.add_argument("--width", type=int, default=8)
     p.add_argument("--stage", choices=("naive", "conv", "final", "all"),
                    default="final")
@@ -374,7 +375,8 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("run", help="compile, simulate, and check a workload")
     p.add_argument("workload")
-    p.add_argument("--level", type=int, default=4, choices=range(5))
+    p.add_argument("--level", type=int, default=4,
+                   choices=[int(l) for l in Level])
     p.add_argument("--width", type=int, default=8)
     p.add_argument("--all-levels", action="store_true")
     p.add_argument("--check", action="store_true", help=check_help)
@@ -441,7 +443,8 @@ def main(argv=None) -> int:
                    help="workload (compile/run), comma list (sweep), "
                         "or job id (job)")
     p.add_argument("--url", default="http://127.0.0.1:8734")
-    p.add_argument("--level", type=int, default=4, choices=range(5))
+    p.add_argument("--level", type=int, default=4,
+                   choices=[int(l) for l in Level])
     p.add_argument("--width", type=int, default=8)
     p.add_argument("--widths", default="1,2,4,8", metavar="W,W,...")
     p.add_argument("--timeout", type=float, default=300.0)

@@ -211,7 +211,8 @@ def main(argv=None) -> int:
     ap.add_argument("--workloads", metavar="A,B,...",
                     help="comma-separated subset, or 'all' for the full "
                          "corpus (default: the 9-kernel oracle set)")
-    ap.add_argument("--level", type=int, default=4, choices=range(5),
+    ap.add_argument("--level", type=int, default=4,
+                    choices=[int(l) for l in Level],
                     help="transformation level to ablate (default: 4)")
     ap.add_argument("--width", type=int, default=8,
                     help="issue width (default: 8)")

@@ -1,4 +1,7 @@
-"""The evaluation grid: 40 loop nests x 5 levels x issue rates 1/2/4/8.
+"""The evaluation grid: 40 loop nests x all levels x issue rates 1/2/4/8.
+
+The level axis derives from :class:`repro.pipeline.Level` — the paper's
+five (Conv..Lev4) plus Lev5 (SLP vectorization).
 
 Replicates the paper's methodology (Section 3.1): each configuration is
 compiled through the full pipeline and measured with execution-driven
@@ -15,7 +18,7 @@ exploits both:
   (:func:`repro.harness.ilp_transform`), so a task transforms once and
   schedules a clone per width instead of recompiling from scratch
   4 times.  Classical optimization is additionally level-independent, so
-  each worker process runs it once per workload (all 5 levels share it).
+  each worker process runs it once per workload (all levels share it).
 * **Process parallelism.**  ``jobs > 1`` fans tasks out over a
   ``fork``-based process pool.  Results are merged deterministically
   (sorted by grid key), so serial and parallel sweeps are bit-identical.

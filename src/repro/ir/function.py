@@ -28,7 +28,7 @@ class Function:
     #: bindings); they survive reindex_regs and are never re-allocated
     pinned_regs: set[Reg] = field(default_factory=set)
     _next_reg: dict[RegClass, int] = field(
-        default_factory=lambda: {RegClass.INT: 1, RegClass.FP: 1}
+        default_factory=lambda: {cls: 1 for cls in RegClass}
     )
     _next_label: int = 0
 
@@ -77,7 +77,7 @@ class Function:
     def reindex_regs(self) -> None:
         """Recompute fresh-register counters from the instructions present
         (plus pinned registers that live only in harness bindings)."""
-        nxt = {RegClass.INT: 1, RegClass.FP: 1}
+        nxt = {cls: 1 for cls in RegClass}
         for ins in self.iter_instrs():
             for r in ins.reg_uses():
                 nxt[r.cls] = max(nxt[r.cls], r.id + 1)

@@ -38,6 +38,23 @@ class Kind(enum.Enum):
     JUMP = enum.auto()
     HALT = enum.auto()
     NOP = enum.auto()
+    # vector (Lev5 superword-level parallelism); latencies mirror the
+    # scalar Table-1 classes of the per-lane operation
+    VEC_IALU = enum.auto()
+    VEC_IMUL = enum.auto()
+    VEC_FALU = enum.auto()
+    VEC_FMUL = enum.auto()
+    VEC_FDIV = enum.auto()
+    VEC_LOAD = enum.auto()
+    VEC_STORE = enum.auto()
+    VEC_PACK = enum.auto()
+
+
+#: Kinds that denote vector (multi-lane) operations.
+VECTOR_KINDS = frozenset({
+    Kind.VEC_IALU, Kind.VEC_IMUL, Kind.VEC_FALU, Kind.VEC_FMUL,
+    Kind.VEC_FDIV, Kind.VEC_LOAD, Kind.VEC_STORE, Kind.VEC_PACK,
+})
 
 
 class Op(enum.Enum):
@@ -88,6 +105,24 @@ class Op(enum.Enum):
     JMP = "jmp"
     HALT = "halt"
     NOP = "nop"
+    # vector memory: ``lanes`` consecutive words starting at base+offset
+    VLD = "vld"          # int vector load
+    VLDF = "vldf"        # fp vector load
+    VST = "vst"          # int vector store; srcs = (base, offset, value)
+    VSTF = "vstf"        # fp vector store
+    # element-wise vector arithmetic
+    VADD = "vadd"
+    VSUB = "vsub"
+    VMUL = "vmul"
+    VFADD = "vfadd"
+    VFSUB = "vfsub"
+    VFMUL = "vfmul"
+    VFDIV = "vfdiv"
+    # lane marshalling: gather scalars into a vector / extract one lane
+    VPACK = "vpack"      # srcs = lanes int scalars
+    VPACKF = "vpackf"    # srcs = lanes fp scalars
+    VEXT = "vext"        # srcs = (vector, Imm lane index)
+    VEXTF = "vextf"
 
 
 _INT_BRANCHES = {Op.BLT, Op.BLE, Op.BGT, Op.BGE, Op.BEQ, Op.BNE}
@@ -99,7 +134,8 @@ class OpInfo:
     """Static metadata for one opcode."""
 
     kind: Kind
-    #: number of value source operands (branches: the 2 compared values)
+    #: number of value source operands (branches: the 2 compared values);
+    #: -1 means variadic — arity equals the instruction's ``lanes``
     n_srcs: int
     #: register class of the destination, or None
     dest_cls: RegClass | None
@@ -156,6 +192,35 @@ OP_INFO: dict[Op, OpInfo] = {
     Op.NOP: OpInfo(Kind.NOP, 0, None, ()),
 }
 
+_VI = RegClass.VINT
+_VF = RegClass.VFP
+
+OP_INFO.update({
+    Op.VLD: OpInfo(Kind.VEC_LOAD, 2, _VI, (_I, _I)),
+    Op.VLDF: OpInfo(Kind.VEC_LOAD, 2, _VF, (_I, _I)),
+    Op.VST: OpInfo(Kind.VEC_STORE, 3, None, (_I, _I, _VI)),
+    Op.VSTF: OpInfo(Kind.VEC_STORE, 3, None, (_I, _I, _VF)),
+    Op.VADD: OpInfo(Kind.VEC_IALU, 2, _VI, (_VI, _VI), commutative=True),
+    Op.VSUB: OpInfo(Kind.VEC_IALU, 2, _VI, (_VI, _VI)),
+    Op.VMUL: OpInfo(Kind.VEC_IMUL, 2, _VI, (_VI, _VI), commutative=True),
+    Op.VFADD: OpInfo(Kind.VEC_FALU, 2, _VF, (_VF, _VF), commutative=True),
+    Op.VFSUB: OpInfo(Kind.VEC_FALU, 2, _VF, (_VF, _VF)),
+    Op.VFMUL: OpInfo(Kind.VEC_FMUL, 2, _VF, (_VF, _VF), commutative=True),
+    Op.VFDIV: OpInfo(Kind.VEC_FDIV, 2, _VF, (_VF, _VF)),
+    Op.VPACK: OpInfo(Kind.VEC_PACK, -1, _VI, (_I,)),
+    Op.VPACKF: OpInfo(Kind.VEC_PACK, -1, _VF, (_F,)),
+    Op.VEXT: OpInfo(Kind.VEC_PACK, 2, _I, (_VI, _I)),
+    Op.VEXTF: OpInfo(Kind.VEC_PACK, 2, _F, (_VF, _I)),
+})
+
+#: element-wise vector op corresponding to each packable scalar op
+VECTOR_OP_FOR: dict[Op, Op] = {
+    Op.ADD: Op.VADD, Op.SUB: Op.VSUB, Op.MUL: Op.VMUL,
+    Op.FADD: Op.VFADD, Op.FSUB: Op.VFSUB, Op.FMUL: Op.VFMUL,
+    Op.FDIV: Op.VFDIV,
+    Op.LD: Op.VLD, Op.LDF: Op.VLDF, Op.ST: Op.VST, Op.STF: Op.VSTF,
+}
+
 #: Branch condition negation, used when superblock formation flips a trace.
 NEGATED_BRANCH: dict[Op, Op] = {
     Op.BLT: Op.BGE, Op.BGE: Op.BLT,
@@ -204,6 +269,9 @@ class Instr:
     #: body); used with the loop's DOALL classification for cross-iteration
     #: memory disambiguation
     tag: int = 0
+    #: vector width in elements; 0 for scalar instructions.  Vector memory
+    #: ops touch ``lanes`` consecutive words starting at base+offset.
+    lanes: int = 0
     uid: int = field(default_factory=lambda: next(_uid_counter))
 
     # -- structural queries -------------------------------------------------
@@ -231,16 +299,26 @@ class Instr:
 
     @property
     def is_load(self) -> bool:
-        return OP_INFO[self.op].kind is Kind.LOAD
+        k = OP_INFO[self.op].kind
+        return k is Kind.LOAD or k is Kind.VEC_LOAD
 
     @property
     def is_store(self) -> bool:
-        return OP_INFO[self.op].kind is Kind.STORE
+        k = OP_INFO[self.op].kind
+        return k is Kind.STORE or k is Kind.VEC_STORE
 
     @property
     def is_mem(self) -> bool:
-        k = OP_INFO[self.op].kind
-        return k is Kind.LOAD or k is Kind.STORE
+        return self.is_load or self.is_store
+
+    @property
+    def is_vector(self) -> bool:
+        return OP_INFO[self.op].kind in VECTOR_KINDS
+
+    @property
+    def mem_words(self) -> int:
+        """Number of consecutive memory words a memory op touches."""
+        return self.lanes if self.lanes > 0 else 1
 
     @property
     def may_trap(self) -> bool:
@@ -281,7 +359,8 @@ class Instr:
 
     def copy(self) -> "Instr":
         """Fresh instruction (new uid) with identical opcode/operands."""
-        return Instr(self.op, self.dest, self.srcs, self.target, self.prob, self.tag)
+        return Instr(self.op, self.dest, self.srcs, self.target, self.prob,
+                     self.tag, self.lanes)
 
     # -- rendering ----------------------------------------------------------
 
@@ -308,15 +387,25 @@ def format_plain(ins: Instr) -> str:
 # -- convenience constructors ------------------------------------------------
 
 def make(op: Op, dest: Reg | None = None, srcs: tuple[Operand, ...] = (),
-         target: Label | None = None) -> Instr:
-    """Construct an instruction, checking arity against opcode metadata."""
+         target: Label | None = None, lanes: int = 0) -> Instr:
+    """Construct an instruction, checking arity against opcode metadata.
+
+    Vector opcodes require ``lanes >= 2``; variadic packs take exactly
+    ``lanes`` sources.
+    """
     info = OP_INFO[op]
-    if len(srcs) != info.n_srcs:
+    if info.kind in VECTOR_KINDS:
+        if lanes < 2:
+            raise ValueError(f"{op.value}: vector op needs lanes >= 2")
+    elif lanes:
+        raise ValueError(f"{op.value}: scalar op cannot carry lanes")
+    expect = lanes if info.n_srcs < 0 else info.n_srcs
+    if len(srcs) != expect:
         raise ValueError(
-            f"{op.value} expects {info.n_srcs} sources, got {len(srcs)}"
+            f"{op.value} expects {expect} sources, got {len(srcs)}"
         )
     if (dest is None) != (info.dest_cls is None):
         raise ValueError(f"{op.value}: destination mismatch")
     if info.kind in (Kind.BRANCH, Kind.JUMP) and target is None:
         raise ValueError(f"{op.value}: missing branch target")
-    return Instr(op, dest, srcs, target)
+    return Instr(op, dest, srcs, target, lanes=lanes)

@@ -19,13 +19,40 @@ from dataclasses import dataclass
 
 
 class RegClass(enum.Enum):
-    """Register class: the machine has separate int and fp register files."""
+    """Register class: the machine has separate int, fp, and (for Lev5
+    superword-level parallelism) vector-int / vector-fp register files."""
 
     INT = "i"
     FP = "f"
+    VINT = "vi"
+    VFP = "vf"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"RegClass.{self.name}"
+
+    @property
+    def is_vector(self) -> bool:
+        return self is RegClass.VINT or self is RegClass.VFP
+
+    @property
+    def element(self) -> "RegClass":
+        """The scalar class of one lane (identity for scalar classes)."""
+        if self is RegClass.VINT:
+            return RegClass.INT
+        if self is RegClass.VFP:
+            return RegClass.FP
+        return self
+
+
+# Per-class hash base for Reg.__hash__.  Scalar bases keep the historical
+# hash values ((id << 1) | is_fp) bit-identical — deterministic set
+# iteration order, and therefore golden schedules, must not move when the
+# vector classes are introduced.  Vector bases sit far above any realistic
+# register id so vector and scalar registers never collide.
+RegClass.INT._hash_base = 0
+RegClass.FP._hash_base = 1
+RegClass.VINT._hash_base = 0x40000000
+RegClass.VFP._hash_base = 0x40000001
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,8 +72,9 @@ class Reg:
         # goes through a tuple and the enum member's name-string hash;
         # this small-int hash is much cheaper and, as a bonus,
         # independent of PYTHONHASHSEED, so set iteration order is
-        # identical in every process.
-        return (self.id << 1) | (self.cls is RegClass.FP)
+        # identical in every process.  The per-class base reproduces the
+        # historical scalar hashes exactly (see RegClass above).
+        return self.cls._hash_base + (self.id << 1)
 
     def __eq__(self, other) -> bool:
         if other.__class__ is Reg:
@@ -66,6 +94,10 @@ class Reg:
     @property
     def is_fp(self) -> bool:
         return self.cls is RegClass.FP
+
+    @property
+    def is_vector(self) -> bool:
+        return self.cls.is_vector
 
 
 @dataclass(frozen=True, slots=True)
@@ -141,6 +173,16 @@ def int_reg(i: int) -> Reg:
 def fp_reg(i: int) -> Reg:
     """Shorthand for ``Reg(i, RegClass.FP)``."""
     return Reg(i, RegClass.FP)
+
+
+def vint_reg(i: int) -> Reg:
+    """Shorthand for ``Reg(i, RegClass.VINT)``."""
+    return Reg(i, RegClass.VINT)
+
+
+def vfp_reg(i: int) -> Reg:
+    """Shorthand for ``Reg(i, RegClass.VFP)``."""
+    return Reg(i, RegClass.VFP)
 
 
 def is_constant(op: Operand) -> bool:

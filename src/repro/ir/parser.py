@@ -33,7 +33,9 @@ class ParseError(ValueError):
     pass
 
 
-_REG_RE = re.compile(r"^r(\d+)([if])$")
+_REG_RE = re.compile(r"^r(\d+)(vi|vf|i|f)$")
+_REG_CLS = {"i": RegClass.INT, "f": RegClass.FP,
+            "vi": RegClass.VINT, "vf": RegClass.VFP}
 _INT_RE = re.compile(r"^[+-]?\d+$")
 _FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
 _SYM_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9.]*$")
@@ -51,6 +53,11 @@ _BRANCH_OPS = {
 }
 
 _BINOP_SPLIT = re.compile(r"\s(\+|\-|\*|/|%|&|\||\^|<<|>>>|>>)\s")
+_VEC_RE = re.compile(r"^(v\w+)\.(\d+)\(\s*(.*?)\s*\)$")
+_VEC_OPS = {
+    op.value: op for op in Op
+    if OP_INFO[op].kind.name.startswith("VEC_")
+}
 _MEM_RE = re.compile(r"^MEM\(\s*([^)+]+?)\s*(?:([+-])\s*([^)]+?)\s*)?\)$")
 _BRANCH_RE = re.compile(r"^(\w+)\s*\(\s*(\S+)\s+(\S+)\s*\)\s*(\S+)$")
 _CVT_RE = re.compile(r"^(itof|ftoi)\(\s*(\S+)\s*\)$")
@@ -61,8 +68,7 @@ def parse_operand(text: str) -> Operand:
     text = text.strip()
     m = _REG_RE.match(text)
     if m:
-        cls = RegClass.INT if m.group(2) == "i" else RegClass.FP
-        return Reg(int(m.group(1)), cls)
+        return Reg(int(m.group(1)), _REG_CLS[m.group(2)])
     if _INT_RE.match(text):
         return Imm(int(text))
     if _FLOAT_RE.match(text):
@@ -89,6 +95,19 @@ def _parse_mem(text: str) -> tuple[Operand, Operand]:
     return base, off
 
 
+def _parse_vec(m: re.Match, dest: Reg | None, line: str) -> Instr:
+    from .instructions import make
+
+    op = _VEC_OPS[m.group(1)]
+    lanes = int(m.group(2))
+    args = m.group(3)
+    srcs = tuple(parse_operand(a) for a in args.split(",")) if args else ()
+    try:
+        return make(op, dest, srcs, lanes=lanes)
+    except ValueError as e:
+        raise ParseError(f"{e}: {line!r}") from None
+
+
 def parse_instr(line: str) -> Instr:
     """Parse one instruction in printer notation."""
     line = line.strip()
@@ -98,6 +117,11 @@ def parse_instr(line: str) -> Instr:
         return Instr(Op.HALT)
     if line.startswith("jmp "):
         return Instr(Op.JMP, target=Label(line[4:].strip()))
+
+    # vector, no destination (stores): vstf.4(A, r1i, r2vf)
+    m = _VEC_RE.match(line)
+    if m and m.group(1) in _VEC_OPS:
+        return _parse_vec(m, None, line)
 
     m = _BRANCH_RE.match(line)
     if m and m.group(1) in _BRANCH_OPS:
@@ -121,6 +145,11 @@ def parse_instr(line: str) -> Instr:
     dest = parse_operand(lhs)
     if not isinstance(dest, Reg):
         raise ParseError(f"destination must be a register: {line!r}")
+
+    # vector with destination: dest = vfadd.4(r1vf, r2vf)
+    m = _VEC_RE.match(rhs)
+    if m and m.group(1) in _VEC_OPS:
+        return _parse_vec(m, dest, line)
 
     # load: dest = MEM(...)
     if rhs.startswith("MEM("):

@@ -40,6 +40,14 @@ def _addr(base: Operand, off: Operand) -> str:
 def format_instr(ins: Instr) -> str:
     """One instruction in paper notation."""
     op = ins.op
+    if ins.is_vector:
+        # mnemonic-dot-lanes call syntax, e.g. ``r1vf = vldf.4(A, r2i)``,
+        # ``vstf.4(A, r2i, r3vf)``, ``r2vf = vfadd.4(r1vf, r2vf)``,
+        # ``r9f = vextf.4(r1vf, 2)`` — round-trips through the parser
+        call = f"{op.value}.{ins.lanes}({', '.join(map(str, ins.srcs))})"
+        if ins.dest is not None:
+            return f"{ins.dest} = {call}"
+        return call
     if op in _BINOP_SYMBOL:
         a, b = ins.srcs
         return f"{ins.dest} = {a} {_BINOP_SYMBOL[op]} {b}"

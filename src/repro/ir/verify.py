@@ -26,8 +26,11 @@ flag).
 from __future__ import annotations
 
 from .function import Function, reachable_labels
-from .instructions import Instr, Kind, Op, OP_INFO
+from .instructions import Instr, Kind, Op, OP_INFO, VECTOR_KINDS
 from .operands import FImm, Imm, Reg, RegClass, Sym
+
+#: sanity cap on vector widths (well above any machine's vector_lanes)
+MAX_LANES = 64
 
 
 class VerifyError(AssertionError):
@@ -46,15 +49,29 @@ def _operand_class_ok(operand, expected: RegClass) -> bool:
 
 def verify_instr(ins: Instr) -> None:
     info = OP_INFO[ins.op]
-    if len(ins.srcs) != info.n_srcs:
-        raise VerifyError(f"{ins!r}: expected {info.n_srcs} srcs")
+    if info.kind in VECTOR_KINDS:
+        if not 2 <= ins.lanes <= MAX_LANES:
+            raise VerifyError(f"{ins!r}: vector op with lanes={ins.lanes}")
+    elif ins.lanes:
+        raise VerifyError(f"{ins!r}: scalar op with lanes={ins.lanes}")
+    expect = ins.lanes if info.n_srcs < 0 else info.n_srcs
+    if len(ins.srcs) != expect:
+        raise VerifyError(f"{ins!r}: expected {expect} srcs")
     if (ins.dest is None) != (info.dest_cls is None):
         raise VerifyError(f"{ins!r}: dest presence mismatch")
     if ins.dest is not None and ins.dest.cls is not info.dest_cls:
         raise VerifyError(f"{ins!r}: dest class {ins.dest.cls} != {info.dest_cls}")
-    for i, (src, cls) in enumerate(zip(ins.srcs, info.src_cls)):
+    src_cls = info.src_cls
+    if info.n_srcs < 0:
+        # variadic pack: every source is one lane of the element class
+        src_cls = src_cls * ins.lanes
+    for i, (src, cls) in enumerate(zip(ins.srcs, src_cls)):
         if not _operand_class_ok(src, cls):
             raise VerifyError(f"{ins!r}: src {i} ({src}) not of class {cls}")
+    if ins.op in (Op.VEXT, Op.VEXTF):
+        lane = ins.srcs[1]
+        if not isinstance(lane, Imm) or not 0 <= lane.value < ins.lanes:
+            raise VerifyError(f"{ins!r}: lane index {lane} out of range")
     if info.kind in (Kind.BRANCH, Kind.JUMP):
         if ins.target is None:
             raise VerifyError(f"{ins!r}: control instruction without target")

@@ -47,11 +47,27 @@ PAPER_LATENCIES: dict[Kind, int] = {
     Kind.JUMP: 1,
     Kind.HALT: 1,
     Kind.NOP: 1,
+    # Lev5 vector extension: element-wise vector ops take the Table-1
+    # latency of their per-lane scalar operation (fully parallel lanes);
+    # vector loads/stores move `lanes` consecutive words at the scalar
+    # memory latency; pack/unpack are 1-cycle register-file shuffles.
+    Kind.VEC_IALU: 1,
+    Kind.VEC_IMUL: 3,
+    Kind.VEC_FALU: 3,
+    Kind.VEC_FMUL: 3,
+    Kind.VEC_FDIV: 10,
+    Kind.VEC_LOAD: 2,
+    Kind.VEC_STORE: 1,
+    Kind.VEC_PACK: 1,
 }
 
 #: Register moves are plain ALU transfers and complete in one cycle even in
 #: the FP file (they do not go through the 3-cycle FP adder).
 _MOVE_LATENCY = 1
+
+#: Default maximum superword width (elements per vector register) the SLP
+#: pass may pack, and the size of the machine's vector register lanes.
+DEFAULT_VECTOR_LANES = 4
 
 
 @dataclass(frozen=True)
@@ -74,6 +90,9 @@ class MachineConfig:
     #: compiler may hoist non-excepting loads / FP ops above branches
     speculative_loads: bool = True
     speculative_fp: bool = True
+    #: vector register width in elements — the widest superword the SLP
+    #: pass (Lev5) may form; 0 disables vectorization entirely
+    vector_lanes: int = DEFAULT_VECTOR_LANES
 
     def latency(self, op: Op) -> int:
         if op in (Op.MOV, Op.FMOV):
@@ -100,6 +119,7 @@ class MachineConfig:
             tuple(sorted((k.value, v) for k, v in self.slot_limits.items())),
             self.speculative_loads,
             self.speculative_fp,
+            self.vector_lanes,
         )
 
     def latency_key(self) -> tuple:
@@ -122,6 +142,7 @@ def to_description(config: MachineConfig) -> dict:
         "slot_limits": {k.name: v for k, v in config.slot_limits.items()},
         "speculative_loads": config.speculative_loads,
         "speculative_fp": config.speculative_fp,
+        "vector_lanes": config.vector_lanes,
     }
 
 
@@ -142,6 +163,7 @@ def from_description(desc: dict) -> MachineConfig:
         slot_limits=slot_limits,
         speculative_loads=bool(desc.get("speculative_loads", True)),
         speculative_fp=bool(desc.get("speculative_fp", True)),
+        vector_lanes=int(desc.get("vector_lanes", DEFAULT_VECTOR_LANES)),
     )
 
 

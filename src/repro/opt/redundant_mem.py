@@ -46,6 +46,10 @@ def eliminate_redundant_memory(
             ins_i = instrs[i]
             if i in to_delete or i in replace_with_move:
                 continue
+            if ins_i.is_vector:
+                # vector accesses move multiple words: never forward from
+                # or delete them (conservative)
+                continue
             # the value this access makes available
             if ins_i.is_load:
                 avail = ins_i.dest
@@ -54,7 +58,7 @@ def eliminate_redundant_memory(
             killed = False
             for j in mem[a_idx + 1:]:
                 ins_j = instrs[j]
-                same = _same_addr(exprs[i], exprs[j])
+                same = _same_addr(exprs[i], exprs[j]) and not ins_j.is_vector
                 if ins_j.is_load and same and not killed:
                     # forward the value, if the register holding it is not
                     # clobbered in between
@@ -72,7 +76,9 @@ def eliminate_redundant_memory(
                         # which off-trace code could read memory
                         observed = any(
                             instrs[t].is_load
-                            and may_alias(exprs[i], exprs[t])
+                            and may_alias(exprs[i], exprs[t],
+                                          ins_i.mem_words,
+                                          instrs[t].mem_words)
                             for t in mem
                             if i < t < j
                         ) or any(
@@ -81,7 +87,8 @@ def eliminate_redundant_memory(
                         if not observed and j not in to_delete:
                             to_delete.add(i)
                         killed = True
-                    elif may_alias(exprs[i], exprs[j]):
+                    elif may_alias(exprs[i], exprs[j],
+                                   ins_i.mem_words, ins_j.mem_words):
                         killed = True
                 if killed and ins_i.is_load:
                     break

@@ -57,6 +57,7 @@ from ..transforms.combine import combine_operations
 from ..transforms.induction import expand_inductions
 from ..transforms.rename import rename_superblock
 from ..transforms.search import expand_search_variables
+from ..transforms.slp import vectorize_superblock
 from ..transforms.strength import reduce_strength
 from ..transforms.treeheight import reduce_tree_height
 from ..transforms.unroll import choose_unroll_factor, unroll_counted
@@ -160,6 +161,14 @@ def _run_combine(ctx: PipelineContext) -> int:
     return combine_operations(ctx.sb.body.instrs, ctx.protected)
 
 
+def _run_slp(ctx: PipelineContext) -> int:
+    components, reassociated = vectorize_superblock(
+        ctx.sb, ctx.machine, ctx.live_out_exit
+    )
+    ctx.report.slp_reassoc += reassociated
+    return components
+
+
 def _run_treeheight(ctx: PipelineContext) -> int:
     prot = (ctx.protected if ctx.protected is not None
             else protected_registers(ctx.sb, ctx.live_out_exit))
@@ -204,6 +213,12 @@ ILP_PASSES = (
     Pass("treeheight", "ilp", _run_treeheight, min_level=Level.LEV3,
          stage="tree height reduction",
          doc="tree height reduction (reassociates fp expressions)"),
+    # last: packs the (unrolled, renamed, expanded) scalar statements the
+    # earlier transformations exposed; the cost model may decline
+    Pass("slp", "ilp", _run_slp, min_level=Level.LEV5,
+         stage="slp vectorization",
+         doc="superword-level parallelism (packs isomorphic unrolled "
+             "statements into vector instructions)"),
 )
 
 

@@ -54,6 +54,9 @@ class PipelineReport:
     disabled: tuple[str, ...] = ()
     #: fixpoint rounds each phase actually ran
     phase_rounds: dict[str, int] = field(default_factory=dict)
+    #: SLP components that reassociated an fp reduction (serial-chain
+    #: packing); nonzero means results are tolerance-, not bit-, exact
+    slp_reassoc: int = 0
 
     # -- generic accessors ----------------------------------------------
 
@@ -94,6 +97,7 @@ class PipelineReport:
             unroll_factor=self.unroll_factor,
             disabled=self.disabled,
             phase_rounds=dict(self.phase_rounds),
+            slp_reassoc=self.slp_reassoc,
         )
 
     # -- classical (Conv) counters --------------------------------------
@@ -160,3 +164,8 @@ class PipelineReport:
     @property
     def trees(self) -> int:
         return self.rewrites("treeheight")
+
+    @property
+    def slp(self) -> int:
+        """SLP components vectorized (accepted by the cost model)."""
+        return self.rewrites("slp")

@@ -59,14 +59,19 @@ def color_class(g: InterferenceGraph, cls: RegClass) -> dict[Reg, int]:
 
 @dataclass
 class RegisterUsage:
-    """Registers utilized by a compiled function, per class and total."""
+    """Registers utilized by a compiled function, per class and total.
+
+    Vector registers live in their own file (see ``machine.py``), so they
+    are counted separately and default to 0 for scalar-only code."""
 
     int_regs: int
     fp_regs: int
+    vint_regs: int = 0
+    vfp_regs: int = 0
 
     @property
     def total(self) -> int:
-        return self.int_regs + self.fp_regs
+        return self.int_regs + self.fp_regs + self.vint_regs + self.vfp_regs
 
 
 class ColoringError(AssertionError):
@@ -99,11 +104,11 @@ def measure_register_usage(
     func: Function, live_out_exit: set[Reg] | None = None, check: bool = False
 ) -> RegisterUsage:
     g = build_interference(func, live_out_exit)
-    ints = color_class(g, RegClass.INT)
-    fps = color_class(g, RegClass.FP)
-    if check:
-        verify_coloring(g, ints)
-        verify_coloring(g, fps)
-    n_int = (max(ints.values()) + 1) if ints else 0
-    n_fp = (max(fps.values()) + 1) if fps else 0
-    return RegisterUsage(n_int, n_fp)
+    counts = {}
+    for cls in RegClass:
+        colors = color_class(g, cls)
+        if check:
+            verify_coloring(g, colors)
+        counts[cls] = (max(colors.values()) + 1) if colors else 0
+    return RegisterUsage(counts[RegClass.INT], counts[RegClass.FP],
+                         counts[RegClass.VINT], counts[RegClass.VFP])

@@ -7,7 +7,7 @@ mutating memory) none of the timing work is needed, so this module
 compiles every basic block into a specialized straight-line Python
 function over the flat register banks::
 
-    def _b3(iv, fv, mem):
+    def _b3(iv, fv, vi, vf, mem):
         fv[2] = mem[(iv[5] + 4096) >> 2]
         fv[3] = fv[2] * fv[1]
         iv[5] = iv[5] + 4
@@ -49,17 +49,23 @@ from bisect import bisect_right
 from ..ir.instructions import Op
 from .errors import SimulationError
 from .executor import (
+    C_ALUN,
     C_BRANCH,
     C_HALT,
     C_JUMP,
     C_LOAD,
     C_NOP,
     C_STORE,
+    C_VLOAD,
+    C_VSTORE,
     CONST,
     CompiledInstr,
     CompiledProgram,
     FP_BANK,
     INT_BANK,
+    VEC_SEMANTICS,
+    VFP_BANK,
+    VINT_BANK,
     _MASK64,
     _idiv,
     _irem,
@@ -91,18 +97,27 @@ _CMP_INFIX = {
 #: the generated code needs an explicit uninitialized-read guard
 _EQNE = {Op.BEQ, Op.BNE, Op.FBEQ, Op.FBNE}
 
+#: element-wise vector ops call shared per-lane helpers so both engines
+#: use the identical semantic functions (see executor.VEC_SEMANTICS)
+_VHELPER = {
+    Op.VADD: "_vadd", Op.VSUB: "_vsub", Op.VMUL: "_vmul",
+    Op.VFADD: "_vfadd", Op.VFSUB: "_vfsub", Op.VFMUL: "_vfmul",
+    Op.VFDIV: "_vfdiv",
+}
+
 
 def _shrl(a, b):
     return (a & _MASK64) >> b
 
 
+_BANK_VAR = {INT_BANK: "iv", FP_BANK: "fv", VINT_BANK: "vi", VFP_BANK: "vf"}
+
+
 def _expr(desc) -> str:
     """Fetch expression for one operand descriptor (bank, key)."""
     bank, key = desc
-    if bank == INT_BANK:
-        return f"iv[{key}]"
-    if bank == FP_BANK:
-        return f"fv[{key}]"
+    if bank != CONST:
+        return f"{_BANK_VAR[bank]}[{key}]"
     if isinstance(key, float) and not math.isfinite(key):
         raise EngineUnsupported(f"non-finite constant {key!r}")
     return f"({key!r})"
@@ -110,7 +125,7 @@ def _expr(desc) -> str:
 
 def _dest(ci: CompiledInstr) -> str:
     bank, idx = ci.dest
-    return f"iv[{idx}]" if bank == INT_BANK else f"fv[{idx}]"
+    return f"{_BANK_VAR[bank]}[{idx}]"
 
 
 def _addr_expr(s0, s1) -> str:
@@ -155,7 +170,7 @@ class ExecPlan:
         lines: list[str] = []
         emit = lines.append
         for b, blk in enumerate(prog.blocks):
-            emit(f"def _b{b}(iv, fv, mem):")
+            emit(f"def _b{b}(iv, fv, vi, vf, mem):")
             for ci in blk.code:
                 gi = len(self.instrs)
                 self.instrs.append(ci)
@@ -173,6 +188,8 @@ class ExecPlan:
             "_flt": float, "_trunc": math.trunc,
             "_ur": self._raise_uninit_read, "_us": self._raise_uninit_store,
         }
+        for vop, name in _VHELPER.items():
+            g[name] = VEC_SEMANTICS[vop]
         exec(code, g)
         self.block_fns = [g[f"_b{b}"] for b in range(len(prog.blocks))]
         self.source = "\n".join(lines)
@@ -216,7 +233,47 @@ class ExecPlan:
                 f"if _v is None: _us({gi})",
                 "mem[_a] = _v",
             ]
+        if cat == C_VLOAD:
+            # fn holds the lane count; lanes occupy consecutive words
+            lanes = ci.fn
+            words = ", ".join(
+                f"mem[_w + {j}]" if j else "mem[_w]" for j in range(lanes)
+            )
+            return [
+                f"_w = {_addr_expr(ci.srcs[0], ci.srcs[1])}",
+                f"{_dest(ci)} = ({words})",
+            ]
+        if cat == C_VSTORE:
+            s0, s1, sv = ci.srcs
+            # same commit order as the scalar store: address first (read
+            # error wins), then the uninitialized-value guard, then writes
+            out = [
+                f"_a = {_addr_expr(s0, s1)}",
+                f"_v = {_expr(sv)}",
+                f"if _v is None: _us({gi})",
+            ]
+            out.extend(
+                f"mem[_a + {j}] = _v[{j}]" if j else "mem[_a] = _v[0]"
+                for j in range(ci.fn)
+            )
+            return out
+        if cat == C_ALUN:
+            # variadic pack: tuple literal; tuple display accepts None
+            # silently, so guard every register lane explicitly
+            out = []
+            checks = [f"{_expr(s)} is None" for s in ci.srcs if s[0] != CONST]
+            if checks:
+                out.append(f"if {' or '.join(checks)}: _ur({gi})")
+            out.append(
+                f"{_dest(ci)} = ({', '.join(_expr(s) for s in ci.srcs)},)"
+            )
+            return out
         # ALU (generic C_ALU: two- or one-operand)
+        if op in _VHELPER:
+            a, bx = _expr(ci.srcs[0]), _expr(ci.srcs[1])
+            return [f"{_dest(ci)} = {_VHELPER[op]}({a}, {bx})"]
+        if op in (Op.VEXT, Op.VEXTF):
+            return [f"{_dest(ci)} = {_expr(ci.srcs[0])}[{_expr(ci.srcs[1])}]"]
         if op in _INFIX:
             a, bx = _expr(ci.srcs[0]), _expr(ci.srcs[1])
             return [f"{_dest(ci)} = {a} {_INFIX[op]} {bx}"]
@@ -243,7 +300,8 @@ class ExecPlan:
             f"store of uninitialized register: {self.instrs[gi].instr!r}"
         )
 
-    def translate_error(self, exc: BaseException, iv: list, fv: list):
+    def translate_error(self, exc: BaseException, iv: list, fv: list,
+                        vi: list = (), vf: list = ()):
         """Re-raise ``exc`` (raised inside generated code) exactly as the
         interpreter would have.
 
@@ -265,10 +323,10 @@ class ExecPlan:
         if k < 0:
             raise exc
         ci = self.instrs[self._line_gi[k]]
-        banks = (iv, fv)
+        banks = (iv, fv, None, vi, vf)
         vals = [k2 if b2 == CONST else banks[b2][k2] for b2, k2 in ci.srcs]
         ins = ci.instr
-        if isinstance(exc, KeyError) and ci.cat == C_LOAD:
+        if isinstance(exc, KeyError) and ci.cat in (C_LOAD, C_VLOAD):
             addr = vals[0] + vals[1]
             raise SimMemoryError(
                 f"load from uninitialized address {addr:#x}: {ins!r}"
@@ -330,6 +388,11 @@ def execute_plan(
     for r, v in fregs.items():
         fv[r] = v
 
+    # vector banks have no live-ins (vectors exist only between a pack or
+    # vector load and their extracts/stores)
+    vi: list = [None] * prog.n_viregs
+    vf: list = [None] * prog.n_vfregs
+
     mem = memory._words
     fns = plan.block_fns
     seg_next = plan.seg_next
@@ -339,7 +402,7 @@ def execute_plan(
     bi: int | None = 0 if fns else None
     try:
         while bi is not None:
-            s = fns[bi](iv, fv, mem)
+            s = fns[bi](iv, fv, vi, vf, mem)
             append(s)
             bi = seg_next[s]
             if len(segs) > limit:
@@ -350,6 +413,6 @@ def execute_plan(
     except (SimulationError, SimMemoryError):
         raise
     except (TypeError, KeyError, ZeroDivisionError) as e:
-        plan.translate_error(e, iv, fv)
+        plan.translate_error(e, iv, fv, vi, vf)
         raise
     return segs, iv, fv

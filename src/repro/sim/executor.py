@@ -31,12 +31,23 @@ from ..machine import MachineConfig
 #: profile.  The content-addressed store's CODE_VERSION salt
 #: (:mod:`repro.service.keys`) is derived from this, so artifacts
 #: produced by an older engine can never be served as current.
-ENGINE_VERSION = "sim-2-blockgen-replay"
+ENGINE_VERSION = "sim-3-vector"
 
-# source/dest bank tags
+# source/dest bank tags.  The vector banks index past the CONST tag so
+# ``banks[(bank)]`` tuples can be built as (ivals, fvals, None, vivals,
+# vfvals) with CONST operands never indexing a bank.
 INT_BANK = 0
 FP_BANK = 1
 CONST = 2
+VINT_BANK = 3
+VFP_BANK = 4
+
+_BANK_OF_CLASS = {
+    RegClass.INT: INT_BANK,
+    RegClass.FP: FP_BANK,
+    RegClass.VINT: VINT_BANK,
+    RegClass.VFP: VFP_BANK,
+}
 
 _MASK64 = (1 << 64) - 1
 
@@ -94,6 +105,31 @@ _CMP = {
 
 CMP_SEMANTICS = _CMP
 
+
+def _vmap(f):
+    """Lift a scalar binary semantic to element-wise over lane tuples."""
+    return lambda a, b: tuple(map(f, a, b))
+
+
+#: Element-wise vector semantics: per-lane application of the shared
+#: scalar definitions, so scalar and vector lanes can never disagree.
+_VEC2 = {
+    Op.VADD: _vmap(_ALU2[Op.ADD]),
+    Op.VSUB: _vmap(_ALU2[Op.SUB]),
+    Op.VMUL: _vmap(_ALU2[Op.MUL]),
+    Op.VFADD: _vmap(_ALU2[Op.FADD]),
+    Op.VFSUB: _vmap(_ALU2[Op.FSUB]),
+    Op.VFMUL: _vmap(_ALU2[Op.FMUL]),
+    Op.VFDIV: _vmap(_ALU2[Op.FDIV]),
+}
+
+VEC_SEMANTICS = _VEC2
+
+
+def _vext(v, i):
+    return v[i]
+
+
 # instruction categories for the simulator's dispatch
 C_ALU = 0
 C_LOAD = 1
@@ -106,6 +142,11 @@ C_HALT = 6
 # (CompiledInstr.cat keeps the generic C_ALU)
 C_ALU2 = 7
 C_ALU1 = 8
+# vector categories: variadic pack (gather lanes into a tuple), and
+# multi-word memory ops (``fn`` carries the lane count)
+C_ALUN = 9
+C_VLOAD = 10
+C_VSTORE = 11
 
 
 @dataclass(eq=False)
@@ -126,8 +167,7 @@ class CompiledInstr:
 
 def _fetch_desc(operand, symbols: dict[str, int]):
     if isinstance(operand, Reg):
-        bank = INT_BANK if operand.cls is RegClass.INT else FP_BANK
-        return (bank, operand.id)
+        return (_BANK_OF_CLASS[operand.cls], operand.id)
     if isinstance(operand, Imm):
         return (CONST, operand.value)
     if isinstance(operand, FImm):
@@ -147,16 +187,26 @@ def compile_instr(ins: Instr, machine: MachineConfig, symbols: dict[str, int]) -
     srcs = tuple(_fetch_desc(s, symbols) for s in ins.srcs)
     dest = None
     if ins.dest is not None:
-        dest = (INT_BANK if ins.dest.cls is RegClass.INT else FP_BANK, ins.dest.id)
+        dest = (_BANK_OF_CLASS[ins.dest.cls], ins.dest.id)
 
     if op in _ALU2:
         return CompiledInstr(C_ALU, _ALU2[op], srcs, dest, lat, kind, None, ins)
+    if op in _VEC2:
+        return CompiledInstr(C_ALU, _VEC2[op], srcs, dest, lat, kind, None, ins)
+    if op in (Op.VEXT, Op.VEXTF):
+        return CompiledInstr(C_ALU, _vext, srcs, dest, lat, kind, None, ins)
+    if op in (Op.VPACK, Op.VPACKF):
+        return CompiledInstr(C_ALUN, None, srcs, dest, lat, kind, None, ins)
     if op in (Op.MOV, Op.FMOV):
         return CompiledInstr(C_ALU, lambda a: a, srcs, dest, lat, kind, None, ins)
     if op is Op.ITOF:
         return CompiledInstr(C_ALU, float, srcs, dest, lat, kind, None, ins)
     if op is Op.FTOI:
         return CompiledInstr(C_ALU, lambda a: math.trunc(a), srcs, dest, lat, kind, None, ins)
+    if kind is Kind.VEC_LOAD:
+        return CompiledInstr(C_VLOAD, ins.lanes, srcs, dest, lat, kind, None, ins)
+    if kind is Kind.VEC_STORE:
+        return CompiledInstr(C_VSTORE, ins.lanes, srcs, None, lat, kind, None, ins)
     if kind is Kind.LOAD:
         return CompiledInstr(C_LOAD, None, srcs, dest, lat, kind, None, ins)
     if kind is Kind.STORE:
@@ -197,13 +247,15 @@ class CompiledProgram:
     ``(bank0, key0, bank1, key1, ...)`` — one unpack fetches every operand.
     ``rsrcs`` keeps only the register sources, likewise flattened, for the
     readiness/interlock check (constants are skipped entirely; at most 3
-    register sources exist, so the check is unrolled).  ``dest_bank`` is -1
-    when there is no destination.  The cold fields ride in a nested tuple
-    the hot path never unpacks: the slot-limit kind, the branch target
-    resolved to a *block index* (-1 if none), and the original instruction
-    (tracing/errors).  ``n_iregs`` / ``n_fregs`` bound the register ids
-    referenced, so the simulator can use flat list register banks instead
-    of dicts (registers are densely reindexed by ``Function.reindex_regs``).
+    register sources exist outside variadic packs, so the check is unrolled
+    with a generic tail for wider packs).  ``dest_bank`` is -1 when there
+    is no destination.  The cold fields ride in a nested tuple the hot
+    path never unpacks: the slot-limit kind, the branch target resolved to
+    a *block index* (-1 if none), and the original instruction
+    (tracing/errors).  ``n_iregs`` / ``n_fregs`` / ``n_viregs`` /
+    ``n_vfregs`` bound the register ids referenced, so the simulator can
+    use flat list register banks instead of dicts (registers are densely
+    reindexed by ``Function.reindex_regs``).
     """
 
     def __init__(self, func: Function, machine: MachineConfig, symbols: dict[str, int]):
@@ -222,27 +274,25 @@ class CompiledProgram:
 
         self.labels: list[str] = [b.label for b in self.blocks]
         self.next_index: list[int | None] = [b.next_index for b in self.blocks]
-        ni = nf = 0
+        nregs = [0, 0, 0, 0, 0]  # indexed by bank tag (CONST slot unused)
         self.flat: list[list[tuple]] = []
         for b in self.blocks:
             row = []
             for ci in b.code:
                 reg_srcs = [s for s in ci.srcs if s[0] != CONST]
-                assert len(reg_srcs) <= 3, ci.instr
+                # variadic packs read one register per lane; everything
+                # else reads at most 3 (the readiness check fast path)
+                assert len(reg_srcs) <= 3 or ci.cat == C_ALUN, ci.instr
                 rsrcs = tuple(x for s in reg_srcs for x in s)
                 for bank, key in reg_srcs:
-                    if bank == INT_BANK:
-                        ni = max(ni, key + 1)
-                    else:
-                        nf = max(nf, key + 1)
+                    if key + 1 > nregs[bank]:
+                        nregs[bank] = key + 1
                 if ci.dest is None:
                     db = di = -1
                 else:
                     db, di = ci.dest
-                    if db == INT_BANK:
-                        ni = max(ni, di + 1)
-                    else:
-                        nf = max(nf, di + 1)
+                    if di + 1 > nregs[db]:
+                        nregs[db] = di + 1
                 tgt = self.index[ci.target] if ci.target is not None else -1
                 cat = ci.cat
                 if cat == C_ALU:
@@ -252,8 +302,10 @@ class CompiledProgram:
                 row.append((cat, ci.fn, srcs, rsrcs, db, di,
                             ci.lat, (ci.kind, tgt, ci.instr)))
             self.flat.append(row)
-        self.n_iregs = ni
-        self.n_fregs = nf
+        self.n_iregs = nregs[INT_BANK]
+        self.n_fregs = nregs[FP_BANK]
+        self.n_viregs = nregs[VINT_BANK]
+        self.n_vfregs = nregs[VFP_BANK]
 
 
 #: per-function memo of CompiledPrograms, keyed by machine + symbol table +

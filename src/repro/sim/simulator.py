@@ -29,12 +29,15 @@ from .executor import (
     C_ALU,
     C_ALU1,
     C_ALU2,
+    C_ALUN,
     C_BRANCH,
     C_HALT,
     C_JUMP,
     C_LOAD,
     C_NOP,
     C_STORE,
+    C_VLOAD,
+    C_VSTORE,
     CONST,
     CompiledProgram,
     FP_BANK,
@@ -162,10 +165,17 @@ def run_compiled(
         ivals[r] = v
     for r, v in fregs.items():
         fvals[r] = v
+    # vector banks have no live-ins: vectors exist only between a pack (or
+    # vector load) and its extracts/stores inside the compiled function
+    vivals: list = [None] * prog.n_viregs
+    vfvals: list = [None] * prog.n_vfregs
     iready = [0] * ni
     fready = [0] * nf
-    banks_vals = (ivals, fvals)
-    banks_ready = (iready, fready)
+    viready = [0] * prog.n_viregs
+    vfready = [0] * prog.n_vfregs
+    # indexed by bank tag; the CONST slot is never dereferenced
+    banks_vals = (ivals, fvals, None, vivals, vfvals)
+    banks_ready = (iready, fready, None, viready, vfready)
 
     codes = prog.flat
     nexts = prog.next_index
@@ -196,6 +206,7 @@ def run_compiled(
     # hot-loop locals (module-global loads are slower inside the loop)
     ALU2, ALU1, LOAD, STORE, BRANCH = C_ALU2, C_ALU1, C_LOAD, C_STORE, C_BRANCH
     JUMP, HALT = C_JUMP, C_HALT
+    ALUN, VLOAD, VSTORE = C_ALUN, C_VLOAD, C_VSTORE
     KONST = CONST
     running = True
     while running:
@@ -227,7 +238,8 @@ def run_compiled(
             cat, fn, srcs, rsrcs, db, di, lat, meta = code[ii]
 
             # operand readiness (flow interlock); at most 3 register
-            # sources, so the loop is unrolled over the flattened pairs
+            # sources outside variadic packs, so the loop is unrolled over
+            # the flattened pairs with a generic tail for wider packs
             need = cycle
             lr = len(rsrcs)
             if lr:
@@ -242,6 +254,11 @@ def run_compiled(
                         t = banks_ready[rsrcs[4]][rsrcs[5]]
                         if t > need:
                             need = t
+                        if lr > 6:
+                            for j in range(6, lr, 2):
+                                t = banks_ready[rsrcs[j]][rsrcs[j + 1]]
+                                if t > need:
+                                    need = t
             # WAW interlock: later write must complete strictly later
             if db >= 0:
                 t = banks_ready[db][di] - lat + 1
@@ -350,6 +367,57 @@ def run_compiled(
                         ) from None
                     raise
                 banks_vals[db][di] = res
+                banks_ready[db][di] = cycle + lat
+            elif cat == VLOAD:
+                # fn holds the lane count; lanes occupy consecutive words
+                b0, k0, b1, k1 = srcs
+                addr = -1
+                try:
+                    addr = (k0 if b0 == KONST else ivals[k0]) + (
+                        k1 if b1 == KONST else ivals[k1]
+                    )
+                    w = addr >> 2
+                    banks_vals[db][di] = tuple(mem[w + j] for j in range(fn))
+                except KeyError:
+                    raise SimMemoryError(
+                        f"load from uninitialized address {addr:#x}: {meta[2]!r}"
+                    ) from None
+                except TypeError:
+                    raise SimulationError(
+                        f"read of uninitialized register: {meta[2]!r}"
+                    ) from None
+                banks_ready[db][di] = cycle + lat
+            elif cat == VSTORE:
+                b0, k0, b1, k1, bv, kv = srcs
+                v = banks_vals[bv][kv]
+                try:
+                    addr = (k0 if b0 == KONST else ivals[k0]) + (
+                        k1 if b1 == KONST else ivals[k1]
+                    )
+                except TypeError:
+                    raise SimulationError(
+                        f"read of uninitialized register: {meta[2]!r}"
+                    ) from None
+                if v is None:
+                    raise SimulationError(
+                        f"store of uninitialized register: {meta[2]!r}"
+                    )
+                w = addr >> 2
+                for j in range(fn):
+                    mem[w + j] = v[j]
+            elif cat == ALUN:
+                # variadic pack: gather one lane per source into a tuple
+                vals = []
+                for j in range(0, len(srcs), 2):
+                    bb = srcs[j]
+                    kk = srcs[j + 1]
+                    v = kk if bb == KONST else banks_vals[bb][kk]
+                    if v is None:
+                        raise SimulationError(
+                            f"read of uninitialized register: {meta[2]!r}"
+                        )
+                    vals.append(v)
+                banks_vals[db][di] = tuple(vals)
                 banks_ready[db][di] = cycle + lat
             elif cat == HALT:
                 n_instr += 1

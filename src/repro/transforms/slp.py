@@ -1,0 +1,573 @@
+"""Superword-level parallelism over the unrolled superblock (Lev5).
+
+After unrolling, renaming, and the expansion transformations, the
+superblock body contains ``unroll_factor`` isomorphic copies of the
+original loop body operating on adjacent memory.  This pass merges groups
+of ``machine.vector_lanes`` isomorphic, independent scalar statements
+into the vector instructions of :mod:`repro.ir.instructions` (Larsen &
+Amarasinghe's SLP, seeded from adjacent memory references):
+
+* **seeds** are runs of same-opcode stores whose symbolic addresses
+  (:class:`repro.analysis.memdep.AddressAnalysis`, resolved through the
+  preheader prologue chain) share origin terms and step by one word, plus
+  accumulator-update groups (see below);
+* packs **grow up the def-use chain**: an operand column whose producers
+  are isomorphic single-use instructions is packed recursively — adjacent
+  loads become a vector load; anything else is *gathered* into a vector
+  with a ``vpack``;
+* a whole connected component is accepted or rejected atomically by a
+  **cost model**: the summed Table-1 latencies of the vector sequence
+  (including gathers) must beat the summed latencies of the scalar
+  instructions it deletes.  The model may decline; it never regresses.
+
+The component is inserted at the *first* member position, i.e. later
+members move up.  Safety therefore requires: all members in one
+branch-free chunk, every external register operand defined before the
+insertion point, packed dests used only inside the component, and no
+may-alias memory access crossed by a moving load or store (byte-range
+overlap via the size-aware :func:`repro.analysis.memdep.may_alias`).
+
+Reductions get two shapes.  The *exact* variant packs the independent
+single-update accumulators produced by accumulator expansion into one
+vector accumulator (``vpackf`` in the preheader, one element-wise add in
+the body, per-lane ``vextf`` into the original temporaries at the natural
+exit) — each lane replays exactly one scalar chain, so results stay
+bit-identical.  The *reassociating* variant packs a serial self-update
+chain (accumulate declined or disabled) the same way but must re-sum the
+lanes at the exit, changing fp association; such components are counted
+separately (``PipelineReport.slp_reassoc``) so the differential oracle
+knows to compare within tolerance.  Both run only in loops without side
+exits or off-trace blocks (no compensation code is emitted).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from ..analysis.liveness import liveness
+from ..analysis.memdep import AddressAnalysis, may_alias
+from ..ir.instructions import Instr, Op, VECTOR_OP_FOR, make
+from ..ir.operands import FImm, Imm, Reg, RegClass
+from ..machine import MachineConfig
+from ..pipeline import prologue_regions, protected_registers
+from ..schedule.superblock import SuperblockLoop
+
+#: element-wise ops the pass packs (scalar ops with a vector counterpart)
+_PACKABLE_ALU = frozenset({
+    Op.ADD, Op.SUB, Op.MUL, Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV,
+})
+_LOADS = frozenset({Op.LD, Op.LDF})
+_STORES = frozenset({Op.ST, Op.STF})
+#: self-update opcodes eligible for reduction packing
+_REDUCE_OPS = frozenset({Op.ADD, Op.FADD})
+
+#: bound on pack-merging rounds per superblock (each round commits at most
+#: one component, then re-analyzes the mutated body)
+_MAX_ROUNDS = 64
+
+
+class _Fail(Exception):
+    """Candidate pack violates a safety or shape condition."""
+
+
+class _Env:
+    """Per-round analysis state over one superblock body."""
+
+    def __init__(self, sb: SuperblockLoop, machine: MachineConfig,
+                 live_out_exit: set[Reg]):
+        self.sb = sb
+        self.func = sb.func
+        self.machine = machine
+        self.lanes = machine.vector_lanes
+        self.body = sb.body.instrs
+        self.protected = protected_registers(sb, live_out_exit)
+        # reduction candidates must be observable *after* the loop — a dead
+        # leftover self-increment is live around the backedge (and hence
+        # protected) but never live into the natural exit
+        lv = liveness(sb.func, live_out_exit)
+        self.exit_live: set[Reg] = (
+            lv.live_in.get(sb.exit_block.label, set())
+            if sb.exit_block is not None else set()
+        )
+        self.aa = AddressAnalysis(
+            self.body, prologue_regions(sb.func, sb) or None
+        )
+        self.chunk_of: list[int] = []
+        c = 0
+        for ins in self.body:
+            self.chunk_of.append(c)
+            if ins.is_control:
+                c += 1
+        self.def_pos: dict[Reg, list[int]] = {}
+        self.use_pos: dict[Reg, set[int]] = {}
+        for i, ins in enumerate(self.body):
+            for r in ins.reg_uses():
+                self.use_pos.setdefault(r, set()).add(i)
+            if ins.dest is not None:
+                self.def_pos.setdefault(ins.dest, []).append(i)
+        self._exprs: dict[int, object] = {}
+
+    def expr(self, pos: int):
+        e = self._exprs.get(pos)
+        if e is None:
+            e = self._exprs[pos] = self.aa.address_expr(pos)
+        return e
+
+    def reaching_def(self, reg: Reg, at: int) -> int:
+        """Position of the definition of ``reg`` reaching position ``at``
+        within the body (-1 = live into the body)."""
+        ds = self.def_pos.get(reg)
+        if not ds:
+            return -1
+        i = bisect_left(ds, at)
+        return ds[i - 1] if i else -1
+
+    def adjacent_run(self, positions: list[int]) -> bool:
+        """Do the memory ops at ``positions`` (in lane order) access
+        consecutive words — equal origin terms, constants stepping by 4?"""
+        e0 = self.expr(positions[0])
+        for j, p in enumerate(positions):
+            e = self.expr(p)
+            if e.terms != e0.terms or e.const != e0.const + 4 * j:
+                return False
+        return True
+
+
+class _Pack:
+    """One group of isomorphic members destined to become one vector op."""
+
+    __slots__ = ("op", "members", "columns", "vreg")
+
+    def __init__(self, op: Op, members: list[int]):
+        self.op = op
+        self.members = members
+        #: per source index: ("pack", _Pack) | ("gather", [operand, ...]);
+        #: memory packs carry no columns (address taken from member 0)
+        self.columns: list[tuple] = []
+        self.vreg: Reg | None = None
+
+
+def _elem_fp(operand) -> bool:
+    if isinstance(operand, Reg):
+        return operand.cls is RegClass.FP
+    return isinstance(operand, FImm)
+
+
+def _vreg_class(fp: bool) -> RegClass:
+    return RegClass.VFP if fp else RegClass.VINT
+
+
+class _Builder:
+    """Grows one connected component of packs from a seed, validates it
+    as a unit, and (if the cost model accepts) rewrites the body."""
+
+    def __init__(self, env: _Env):
+        self.env = env
+        self.packs: list[_Pack] = []   # producers precede consumers
+        self.member_of: dict[int, _Pack | None] = {}
+        #: every gather column created, with its consumer positions —
+        #: close() checks each gathered register is defined before the
+        #: component's insertion point
+        self.gathers: list[tuple[list, list[int]]] = []
+
+    # -- construction ----------------------------------------------------
+
+    def _claim(self, positions: list[int], pack: _Pack | None) -> None:
+        if len(set(positions)) != len(positions):
+            raise _Fail
+        for p in positions:
+            if p in self.member_of:
+                raise _Fail
+        chunks = {self.env.chunk_of[p] for p in positions}
+        if len(chunks) != 1:
+            raise _Fail
+        for p in positions:
+            self.member_of[p] = pack
+
+    def _check_dests(self, positions: list[int], consumers: list[int]) -> None:
+        """Each member's dest must be single-def, unobservable outside the
+        component, and consumed only by its lane's consumer."""
+        env = self.env
+        for p, cpos in zip(positions, consumers):
+            d = env.body[p].dest
+            if d is None or d in env.protected:
+                raise _Fail
+            if env.def_pos.get(d) != [p]:
+                raise _Fail
+            if env.use_pos.get(d, set()) != {cpos}:
+                raise _Fail
+
+    def build_ops(self, positions: list[int], consumers: list[int]) -> _Pack:
+        """Pack the isomorphic producers at ``positions`` (lane order),
+        recursing into their operand columns."""
+        env = self.env
+        ops = {env.body[p].op for p in positions}
+        if len(ops) != 1:
+            raise _Fail
+        op = ops.pop()
+        self._check_dests(positions, consumers)
+        pack = _Pack(op, list(positions))
+        if op in _LOADS:
+            if not env.adjacent_run(positions):
+                raise _Fail
+            self._claim(positions, pack)
+            self.packs.append(pack)
+            return pack
+        if op not in _PACKABLE_ALU:
+            raise _Fail
+        self._claim(positions, pack)
+        for m in range(len(env.body[positions[0]].srcs)):
+            column = [env.body[p].srcs[m] for p in positions]
+            pack.columns.append(self._resolve_column(column, positions))
+        self.packs.append(pack)
+        return pack
+
+    def _resolve_column(self, column: list, consumers: list[int]) -> tuple:
+        """Turn one operand column into a producer pack or a gather."""
+        env = self.env
+        if all(isinstance(o, Reg) for o in column):
+            if any(o.is_vector for o in column):
+                raise _Fail
+            qs = [env.reaching_def(o, c) for o, c in zip(column, consumers)]
+            if all(q >= 0 for q in qs):
+                mark = (len(self.packs), dict(self.member_of),
+                        len(self.gathers))
+                try:
+                    return ("pack", self.build_ops(qs, consumers))
+                except _Fail:
+                    del self.packs[mark[0]:]
+                    self.member_of = mark[1]
+                    del self.gathers[mark[2]:]
+        if not all(isinstance(o, (Reg, Imm, FImm)) for o in column):
+            raise _Fail
+        self.gathers.append((column, list(consumers)))
+        return ("gather", column)
+
+    def build_store_root(self, positions: list[int]) -> None:
+        """Seed the component from an adjacent run of scalar stores."""
+        env = self.env
+        op = env.body[positions[0]].op
+        pack = _Pack(op, list(positions))
+        self._claim(positions, pack)
+        if not env.adjacent_run(positions):
+            raise _Fail
+        column = [env.body[p].srcs[2] for p in positions]
+        pack.columns.append(self._resolve_column(column, positions))
+        self.packs.append(pack)
+
+    def mark_deleted(self, positions: list[int]) -> None:
+        """Claim non-pack members (reduction updates) for deletion."""
+        self._claim(positions, None)
+
+    # -- component validation --------------------------------------------
+
+    def close(self) -> None:
+        """Validate the closed component for insertion at its first member
+        position."""
+        env = self.env
+        positions = sorted(self.member_of)
+        p_min = positions[0]
+        if len({env.chunk_of[p] for p in positions}) != 1:
+            raise _Fail
+        # external register operands must be defined before the insertion
+        # point: a def inside [p_min, member) would be crossed by the move
+        for pack in self.packs:
+            if pack.op in _LOADS or pack.op in _STORES:
+                p0 = pack.members[0]
+                for s in env.body[p0].srcs[:2]:
+                    if isinstance(s, Reg) and env.reaching_def(s, p0) >= p_min:
+                        raise _Fail
+        for column, consumers in self.gathers:
+            for opnd, cpos in zip(column, consumers):
+                if (isinstance(opnd, Reg)
+                        and env.reaching_def(opnd, cpos) >= p_min):
+                    raise _Fail
+        # memory safety for the upward moves
+        packed_stores = [
+            (p, env.expr(p)) for pack in self.packs if pack.op in _STORES
+            for p in pack.members
+        ]
+        crossed = [
+            q for q in range(p_min, positions[-1] + 1)
+            if q not in self.member_of and env.body[q].is_mem
+        ]
+        for pack in self.packs:
+            if pack.op in _LOADS:
+                for p in pack.members:
+                    e = env.expr(p)
+                    for q in crossed:
+                        if (q < p and env.body[q].is_store and may_alias(
+                                env.expr(q), e, env.body[q].mem_words, 1)):
+                            raise _Fail
+                    for q, eq in packed_stores:
+                        if q < p and may_alias(eq, e):
+                            raise _Fail
+            elif pack.op in _STORES:
+                for p in pack.members:
+                    e = env.expr(p)
+                    for q in crossed:
+                        if q < p and may_alias(env.expr(q), e,
+                                               env.body[q].mem_words, 1):
+                            raise _Fail
+
+    # -- emission ---------------------------------------------------------
+
+    def _gather(self, column: list, out: list[Instr]) -> Reg:
+        fp = any(_elem_fp(o) for o in column)
+        vreg = self.env.func.new_reg(_vreg_class(fp))
+        out.append(make(Op.VPACKF if fp else Op.VPACK, vreg,
+                        tuple(column), lanes=len(column)))
+        return vreg
+
+    def _column_value(self, col: tuple, out: list[Instr]) -> Reg:
+        if col[0] == "pack":
+            assert col[1].vreg is not None
+            return col[1].vreg
+        return self._gather(col[1], out)
+
+    def emit(self) -> list[Instr]:
+        """The vector sequence replacing the packed members, in dependence
+        order (``self.packs`` lists producers before consumers)."""
+        env = self.env
+        out: list[Instr] = []
+        for pack in self.packs:
+            k = len(pack.members)
+            first = env.body[pack.members[0]]
+            vop = VECTOR_OP_FOR[pack.op]
+            if pack.op in _LOADS:
+                pack.vreg = env.func.new_reg(
+                    _vreg_class(pack.op is Op.LDF))
+                out.append(make(vop, pack.vreg, first.srcs[:2], lanes=k))
+            elif pack.op in _STORES:
+                vval = self._column_value(pack.columns[0], out)
+                out.append(make(vop, None, first.srcs[:2] + (vval,), lanes=k))
+            else:
+                srcs = tuple(
+                    self._column_value(col, out) for col in pack.columns
+                )
+                pack.vreg = env.func.new_reg(
+                    _vreg_class(first.dest.cls is RegClass.FP))
+                out.append(make(vop, pack.vreg, srcs, lanes=k))
+        return out
+
+    def net_savings(self, emitted: list[Instr],
+                    extra: list[Instr] = ()) -> int:
+        """Summed scalar latency deleted minus summed vector latency added
+        (body instructions only — preheader/exit code runs once per loop
+        entry, not per iteration, and is not counted against the pack)."""
+        env = self.env
+        scalar = sum(env.machine.latency(env.body[p].op)
+                     for p in self.member_of)
+        vector = sum(env.machine.latency(i.op) for i in emitted)
+        vector += sum(env.machine.latency(i.op) for i in extra)
+        return scalar - vector
+
+    def apply(self, emitted: list[Instr]) -> None:
+        body = self.env.body
+        p_min = min(self.member_of)
+        self.env.sb.body.instrs = (
+            body[:p_min] + emitted
+            + [ins for q, ins in enumerate(body) if q >= p_min
+               and q not in self.member_of]
+        )
+
+
+# ---------------------------------------------------------------------------
+# seeds
+# ---------------------------------------------------------------------------
+
+
+def _store_seeds(env: _Env) -> list[list[int]]:
+    """Runs of ``lanes`` same-opcode scalar stores to consecutive words,
+    grouped by (opcode, chunk, address origin terms), in body order."""
+    groups: dict[tuple, list[tuple[int, int]]] = {}
+    for p, ins in enumerate(env.body):
+        if ins.op in _STORES:
+            e = env.expr(p)
+            key = (ins.op, env.chunk_of[p], e.terms)
+            groups.setdefault(key, []).append((e.const, p))
+    seeds = []
+    for lst in groups.values():
+        lst.sort()
+        i = 0
+        while i + env.lanes <= len(lst):
+            window = lst[i:i + env.lanes]
+            if all(window[j][0] == window[0][0] + 4 * j
+                   for j in range(env.lanes)):
+                seeds.append([p for _, p in window])
+                i += env.lanes
+            else:
+                i += 1
+    return seeds
+
+
+def _self_update(ins: Instr) -> Reg | None:
+    """For ``d = d op t`` return d, else None (``d op d`` is excluded —
+    the other operand must be distinct from the accumulator)."""
+    d = ins.dest
+    if d is None or ins.op not in _REDUCE_OPS:
+        return None
+    a, b = ins.srcs
+    if (a == d) == (b == d):
+        return None
+    return d
+
+
+def _other_operand(ins: Instr):
+    a, b = ins.srcs
+    return b if a == ins.dest else a
+
+
+def _reduction_seeds(env: _Env) -> list[tuple[str, list[int]]]:
+    """Accumulator-update groups: ``("exact", updates)`` packs ``lanes``
+    independent single-update accumulators (one lane each, bit-identical);
+    ``("reassoc", updates)`` packs one serial self-update chain whose
+    length is a multiple of ``lanes`` (changes fp association)."""
+    seeds: list[tuple[str, list[int]]] = []
+    singles: list[int] = []
+    seen_chain: set[Reg] = set()
+    for p, ins in enumerate(env.body):
+        d = _self_update(ins)
+        if d is None or d in seen_chain or d not in env.exit_live:
+            continue
+        defs = env.def_pos.get(d, [])
+        if env.use_pos.get(d, set()) != set(defs):
+            continue
+        if defs == [p]:
+            singles.append(p)
+        elif defs[0] == p and len(defs) % env.lanes == 0:
+            # a serial chain: every def must be a self-update of d with the
+            # same opcode, all in one chunk
+            if all(_self_update(env.body[q]) == d
+                   and env.body[q].op is ins.op
+                   and env.chunk_of[q] == env.chunk_of[p] for q in defs):
+                seen_chain.add(d)
+                seeds.append(("reassoc", list(defs)))
+    i = 0
+    while i + env.lanes <= len(singles):
+        window = singles[i:i + env.lanes]
+        first = env.body[window[0]]
+        if all(env.body[q].op is first.op
+               and env.chunk_of[q] == env.chunk_of[window[0]]
+               for q in window):
+            seeds.insert(0, ("exact", window))
+            i += env.lanes
+        else:
+            i += 1
+    return seeds
+
+
+# ---------------------------------------------------------------------------
+# component drivers
+# ---------------------------------------------------------------------------
+
+
+def _try_store_component(env: _Env, seed: list[int]) -> bool:
+    b = _Builder(env)
+    try:
+        b.build_store_root(seed)
+        b.close()
+    except _Fail:
+        return False
+    emitted = b.emit()
+    if b.net_savings(emitted) <= 0:
+        return False
+    b.apply(emitted)
+    return True
+
+
+def _try_reduction_component(env: _Env, kind: str,
+                             updates: list[int]) -> bool:
+    sb = env.sb
+    if sb.offtrace or sb.side_exit_positions() or sb.exit_block is None:
+        return False
+    body = env.body
+    first = body[updates[0]]
+    accs = [_self_update(body[p]) for p in updates]
+    fp = first.op is Op.FADD
+    lanes = env.lanes
+    groups = [updates[i:i + lanes] for i in range(0, len(updates), lanes)]
+
+    b = _Builder(env)
+    try:
+        b.mark_deleted(updates)
+        columns = [
+            b._resolve_column([_other_operand(body[p]) for p in grp], grp)
+            for grp in groups
+        ]
+        b.close()
+    except _Fail:
+        return False
+
+    vacc = env.func.new_reg(_vreg_class(fp))
+    vadd = Op.VFADD if fp else Op.VADD
+    emitted = b.emit()
+    for col in columns:
+        vt = b._column_value(col, emitted)
+        emitted.append(make(vadd, vacc, (vacc, vt), lanes=lanes))
+    if b.net_savings(emitted) <= 0:
+        return False
+
+    ident = FImm(0.0) if fp else Imm(0)
+    vpack = Op.VPACKF if fp else Op.VPACK
+    vext = Op.VEXTF if fp else Op.VEXT
+    if kind == "exact":
+        init = tuple(accs)
+        exit_code = [
+            make(vext, accs[j], (vacc, Imm(j)), lanes=lanes)
+            for j in range(lanes)
+        ]
+    else:
+        # one serial chain on accs[0]: lane 0 starts from the carried
+        # value, the rest from the additive identity; the exit re-sums
+        acc = accs[0]
+        init = (acc,) + (ident,) * (lanes - 1)
+        temps = [env.func.new_reg(acc.cls) for _ in range(lanes)]
+        exit_code = [
+            make(vext, temps[j], (vacc, Imm(j)), lanes=lanes)
+            for j in range(lanes)
+        ]
+        exit_code.append(Instr(first.op, acc, (temps[0], temps[1])))
+        for t in temps[2:]:
+            exit_code.append(Instr(first.op, acc, (acc, t)))
+
+    b.apply(emitted)
+    sb.preheader.extend([make(vpack, vacc, init, lanes=lanes)])
+    for kk, ins in enumerate(exit_code):
+        sb.exit_block.insert(kk, ins)
+    return True
+
+
+def vectorize_superblock(
+    sb: SuperblockLoop,
+    machine: MachineConfig,
+    live_out_exit: set[Reg],
+) -> tuple[int, int]:
+    """Pack-merge the superblock body into vector instructions.
+
+    Returns ``(components, reassociated)``: accepted connected components
+    and how many of them reassociated an fp reduction.  A machine with
+    ``vector_lanes < 2`` disables the pass entirely.
+    """
+    if machine.vector_lanes < 2:
+        return 0, 0
+    components = 0
+    reassoc = 0
+    for _ in range(_MAX_ROUNDS):
+        env = _Env(sb, machine, live_out_exit)
+        committed = False
+        for seed in _store_seeds(env):
+            if _try_store_component(env, seed):
+                committed = True
+                break
+        if not committed:
+            for kind, updates in _reduction_seeds(env):
+                if _try_reduction_component(env, kind, updates):
+                    committed = True
+                    if kind == "reassoc":
+                        reassoc += 1
+                    break
+        if not committed:
+            break
+        components += 1
+    return components, reassoc

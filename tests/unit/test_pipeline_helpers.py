@@ -28,10 +28,13 @@ def vadd(n=24, kind="doall"):
 
 class TestLevels:
     def test_labels(self):
-        assert [l.label for l in Level] == ["Conv", "Lev1", "Lev2", "Lev3", "Lev4"]
+        assert [l.label for l in Level] == [
+            "Conv", "Lev1", "Lev2", "Lev3", "Lev4", "Lev5"
+        ]
 
     def test_cumulative_ordering(self):
-        assert Level.CONV < Level.LEV1 < Level.LEV2 < Level.LEV3 < Level.LEV4
+        assert (Level.CONV < Level.LEV1 < Level.LEV2 < Level.LEV3
+                < Level.LEV4 < Level.LEV5)
 
     def test_reports_accumulate_by_level(self):
         reports = {}

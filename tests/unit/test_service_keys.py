@@ -97,7 +97,7 @@ class TestRequestKeyStability:
                               "check", "check_ir", "disable", "machine"}
         assert set(ident["machine"]) == {
             "issue_width", "branch_slots", "latencies", "slot_limits",
-            "speculative_loads", "speculative_fp",
+            "speculative_loads", "speculative_fp", "vector_lanes",
         }
 
 
