@@ -140,6 +140,9 @@ def check_workload(
     seed: int = 0,
     check_ir: bool = True,
     cross_engine: bool = False,
+    scheduler: str = "list",
+    solver_budget: int | None = None,
+    solver_store=None,
 ) -> tuple[int, list[Divergence]]:
     """Differentially check one workload; returns (configs checked, divergences).
 
@@ -147,6 +150,9 @@ def check_workload(
     *both* simulator engines — the interpreter and the block-compiled
     trace/replay core — and requires bit-identical cycles, instruction
     counts, and end states (kind ``engine-vs-engine`` on mismatch).
+    ``scheduler="optimal"`` checks the exact solver-backed schedule
+    backend instead of heuristic list scheduling — the same golden-state
+    comparison proves the solver's reorderings semantics-preserving.
     """
     divs: list[Divergence] = []
     arrays, scalars = w.make_inputs(seed)
@@ -192,7 +198,10 @@ def check_workload(
             machine = MachineConfig(issue_width=width)
             try:
                 clone = tk.clone() if i + 1 < len(widths) else tk
-                ck = schedule_kernel(clone, machine, check=check_ir)
+                ck = schedule_kernel(clone, machine, check=check_ir,
+                                     scheduler=scheduler,
+                                     solver_budget=solver_budget,
+                                     solver_store=solver_store)
                 run = run_compiled_kernel(ck, arrays=arrays, scalars=scalars)
             except Exception as e:  # noqa: BLE001
                 divs.append(
@@ -265,6 +274,9 @@ def run_oracle(
     check_ir: bool = True,
     verbose: bool = False,
     cross_engine: bool = False,
+    scheduler: str = "list",
+    solver_budget: int | None = None,
+    solver_store=None,
 ) -> OracleReport:
     """Run the differential oracle over the corpus (default: all 40)."""
     workloads = workloads or all_workloads()
@@ -272,7 +284,9 @@ def run_oracle(
     t0 = time.time()
     for w in workloads:
         checked, divs = check_workload(
-            w, levels, widths, seed, check_ir, cross_engine=cross_engine
+            w, levels, widths, seed, check_ir, cross_engine=cross_engine,
+            scheduler=scheduler, solver_budget=solver_budget,
+            solver_store=solver_store,
         )
         report.kernels_checked += 1
         report.configs_checked += checked

@@ -12,7 +12,9 @@
     python -m repro serve --port 8734 --store DIR --jobs 2  # HTTP service
     python -m repro cluster --nodes 3 --store DIR # multi-node scale-out
     python -m repro submit run dotprod --level 4 --width 8  # client SDK
-    python -m repro mii dotprod                  # software-pipelining bounds
+    python -m repro mii dotprod [--exact]        # software-pipelining bounds
+    python -m repro run dotprod --scheduler optimal  # exact solver backend
+    python -m repro headroom                     # heuristic-vs-optimal report
     python -m repro check                        # differential oracle, all 40
     python -m repro check --fuzz 50              # + seeded random loop nests
     python -m repro chaos --plan kill --jobs 2   # fault-injection suite
@@ -45,6 +47,18 @@ from .pipeline import Level
 from .regalloc import measure_register_usage
 from .schedule.pipelining import compute_bounds
 from .workloads import all_workloads, check_run, get_workload
+
+
+def _solver_store(args):
+    """ArtifactStore from --solver-store (None = no solver caching)."""
+    path = getattr(args, "solver_store", None)
+    if not path:
+        return None
+    from pathlib import Path
+
+    from .service.store import ArtifactStore
+
+    return ArtifactStore(Path(path))
 
 
 def _pass_options(args) -> PassOptions | None:
@@ -100,13 +114,24 @@ def cmd_compile(args) -> int:
     )
     schedule_function(lk.func, machine, lk.live_out_exit, sb=sb,
                       doall=lk.inner_kind == "doall", check=args.check,
-                      options=options, report=rep)
+                      options=options, report=rep,
+                      scheduler=args.scheduler,
+                      solver_budget=args.solver_budget,
+                      solver_store=_solver_store(args))
     print(f"\n=== {level.label} on issue-{args.width or 'inf'}: "
           f"unroll x{rep.unroll_factor}, {rep.renamed} renamed, "
           f"{rep.inductions} ind, {rep.accumulators} acc, "
           f"{rep.searches} search, {rep.combined} combined, "
           f"{rep.trees} trees ===")
     print(format_block(sb.body))
+    if rep.optsched:
+        print("\nexact-scheduling proofs (per block):")
+        for label, p in sorted(rep.optsched.items()):
+            print(f"  {label:<12}{p['status']:<18}"
+                  f"heur={p['heuristic_makespan']} "
+                  f"opt={p['optimal_makespan']} lb>={p['proved_lb']} "
+                  f"nodes={p['nodes']}"
+                  f"{'  [cached]' if p['cached'] else ''}")
     usage = measure_register_usage(lk.func, lk.live_out_exit)
     print(f"\nregisters: {usage.int_regs} int + {usage.fp_regs} fp = {usage.total}")
     if args.stats:
@@ -145,12 +170,15 @@ def cmd_run(args) -> int:
     w = get_workload(args.workload)
     machine = MachineConfig(issue_width=args.width)
     options = _pass_options(args)
+    store = _solver_store(args)
     levels = list(Level) if args.all_levels else [Level(args.level)]
     base = run_config(w, Level.CONV, MachineConfig(issue_width=1),
                       check_ir=args.check, options=options).cycles
     print(f"{w.name} (type={w.loop_type}); baseline issue-1/Conv = {base} cycles")
     for level in levels:
-        r = run_config(w, level, machine, check_ir=args.check, options=options)
+        r = run_config(w, level, machine, check_ir=args.check, options=options,
+                       scheduler=args.scheduler,
+                       solver_budget=args.solver_budget, solver_store=store)
         print(f"  {level.label}@issue-{args.width}: {r.cycles} cycles, "
               f"{r.instructions} instrs, speedup {base / r.cycles:.2f}, "
               f"{r.total_regs} regs  [checked]")
@@ -234,7 +262,10 @@ def cmd_check(args) -> int:
               f"({'with' if not args.no_ir_check else 'without'} IR checks)")
         report = run_oracle(wls, widths=widths, seed=args.seed,
                             check_ir=not args.no_ir_check, verbose=args.verbose,
-                            cross_engine=args.cross_engine)
+                            cross_engine=args.cross_engine,
+                            scheduler=args.scheduler,
+                            solver_budget=args.solver_budget,
+                            solver_store=_solver_store(args))
         print(report.summary())
         for d in report.divergences:
             print(f"  {d}")
@@ -326,9 +357,29 @@ def cmd_mii(args) -> int:
             doall=w.loop_type == "doall",
         )
         achieved = ck.inner_makespan / b.iterations
-        print(f"  {level.label}: ResMII={b.res_mii} RecMII={b.rec_mii} "
-              f"MII/iter={b.mii_per_iteration:.2f} achieved/iter={achieved:.2f}")
+        line = (f"  {level.label}: ResMII={b.res_mii} RecMII={b.rec_mii} "
+                f"MII/iter={b.mii_per_iteration:.2f} "
+                f"achieved/iter={achieved:.2f}")
+        if args.exact:
+            from .optsched import modulo_schedule
+
+            ms = modulo_schedule(
+                ck.sb.body.instrs, machine,
+                iterations=ck.report.unroll_factor,
+                prologue=ck.sb.preheader.instrs,
+                doall=w.loop_type == "doall",
+            )
+            line += (f" exactII/iter={ms.ii_per_iteration:.2f} "
+                     f"[{ms.status}]")
+        print(line)
     return 0
+
+
+def cmd_headroom(args) -> int:
+    """Heuristic-vs-optimal scheduling headroom (see experiments/headroom)."""
+    from .experiments.headroom import main as headroom_main
+
+    return headroom_main(args.rest)
 
 
 def main(argv=None) -> int:
@@ -356,6 +407,20 @@ def main(argv=None) -> int:
                        help="dump the IR after every pass that rewrote "
                             "something")
 
+    def add_scheduler_flags(p):
+        p.add_argument("--scheduler", choices=("list", "optimal"),
+                       default="list",
+                       help="schedule backend: greedy list scheduling "
+                            "(default) or the exact solver with proof of "
+                            "optimality (heuristic fallback under budget)")
+        p.add_argument("--solver-budget", type=int, default=None,
+                       metavar="NODES",
+                       help="deterministic search-node budget per block "
+                            "for --scheduler optimal")
+        p.add_argument("--solver-store", metavar="DIR",
+                       help="content-addressed store caching exact-solver "
+                            "results across runs")
+
     sub.add_parser("passes",
                    help="list the registered pass pipeline "
                         "(phases, level gates, ablatability)")
@@ -372,6 +437,7 @@ def main(argv=None) -> int:
                    help="print the per-pass stats table (rewrites, "
                         "instruction delta, wall time)")
     add_pipeline_flags(p)
+    add_scheduler_flags(p)
 
     p = sub.add_parser("run", help="compile, simulate, and check a workload")
     p.add_argument("workload")
@@ -381,6 +447,7 @@ def main(argv=None) -> int:
     p.add_argument("--all-levels", action="store_true")
     p.add_argument("--check", action="store_true", help=check_help)
     add_pipeline_flags(p)
+    add_scheduler_flags(p)
 
     p = sub.add_parser("sweep", help="run the full evaluation grid")
     p.add_argument("--force", action="store_true")
@@ -454,6 +521,15 @@ def main(argv=None) -> int:
     p = sub.add_parser("mii", help="software-pipelining bounds per level")
     p.add_argument("workload")
     p.add_argument("--width", type=int, default=8)
+    p.add_argument("--exact", action="store_true",
+                   help="additionally run the exact modulo scheduler and "
+                        "print the achieved II per level")
+
+    # remaining arguments are forwarded verbatim to
+    # repro.experiments.headroom (try `python -m repro headroom --help`)
+    sub.add_parser("headroom", add_help=False,
+                   help="heuristic-vs-optimal scheduling headroom over the "
+                        "corpus -> results/headroom.txt")
 
     p = sub.add_parser(
         "check",
@@ -477,9 +553,10 @@ def main(argv=None) -> int:
                         "simulator engines (interpreter and block-compiled "
                         "replay) and require bit-identical results")
     p.add_argument("--verbose", action="store_true")
+    add_scheduler_flags(p)
 
     args, extra = ap.parse_known_args(argv)
-    if args.cmd in ("ablate", "serve", "chaos", "cluster"):
+    if args.cmd in ("ablate", "serve", "chaos", "cluster", "headroom"):
         args.rest = extra
     elif extra:
         ap.error(f"unrecognized arguments: {' '.join(extra)}")
@@ -488,7 +565,7 @@ def main(argv=None) -> int:
         "compile": cmd_compile, "run": cmd_run, "sweep": cmd_sweep,
         "ablate": cmd_ablate, "serve": cmd_serve, "submit": cmd_submit,
         "mii": cmd_mii, "check": cmd_check, "chaos": cmd_chaos,
-        "cluster": cmd_cluster,
+        "cluster": cmd_cluster, "headroom": cmd_headroom,
     }[args.cmd](args)
 
 

@@ -303,6 +303,8 @@ def run_config(
     w: Workload, level: Level, machine: MachineConfig, seed: int = 0,
     check: bool = True, check_ir: bool = False,
     options: PassOptions | None = None, engine: str = "auto",
+    scheduler: str = "list", solver_budget: int | None = None,
+    solver_store=None,
 ) -> ConfigResult:
     """Compile, simulate, and check a single configuration.
 
@@ -311,7 +313,9 @@ def run_config(
     classical stage is still reused across calls per workload.
     ``check_ir=True`` additionally runs the between-pass invariant
     verifier (the CLI ``--check`` flag); ``options`` carries
-    ``--disable-pass`` / ``--print-after`` pipeline controls.
+    ``--disable-pass`` / ``--print-after`` pipeline controls;
+    ``scheduler`` selects the schedule backend (``--scheduler``), with
+    ``solver_store`` caching exact-solver results fleet-wide.
     """
     conv, t_conv = _conv_cached(w, options)
     t0 = time.perf_counter()
@@ -319,7 +323,9 @@ def run_config(
                        options=options)
     t_compile = t_conv + (time.perf_counter() - t0)
     t0 = time.perf_counter()
-    ck = schedule_kernel(tk, machine, check=check_ir, options=options)
+    ck = schedule_kernel(tk, machine, check=check_ir, options=options,
+                         scheduler=scheduler, solver_budget=solver_budget,
+                         solver_store=solver_store)
     t_sched = time.perf_counter() - t0
     arrays, scalars = _inputs_cached(w, seed)
     return _measure(w, ck, arrays, scalars, check, t_compile, t_sched,

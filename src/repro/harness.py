@@ -178,13 +178,16 @@ def ilp_transform(
 
 def schedule_kernel(
     tk: TransformedKernel, machine: MachineConfig, check: bool = False,
-    options: PassOptions | None = None,
+    options: PassOptions | None = None, scheduler: str = "list",
+    solver_budget: int | None = None, solver_store=None,
 ) -> CompiledKernel:
-    """Stage 3: list-schedule a transformed kernel for a concrete machine.
+    """Stage 3: schedule a transformed kernel for a concrete machine.
 
     Mutates ``tk``'s function in place (pass ``tk.clone()`` to schedule the
     same transformed code for several widths).  ``check=True`` verifies
     invariants on the scheduled code and the register coloring.
+    ``scheduler`` selects the backend (``"list"`` heuristic or
+    ``"optimal"`` exact, see :mod:`repro.optsched`).
     """
     lk = tk.lowered
     doall = lk.inner_kind == "doall"
@@ -192,6 +195,8 @@ def schedule_kernel(
     schedules = schedule_function(
         lk.func, machine, lk.live_out_exit, sb=tk.sb, doall=doall,
         check=check, options=options, report=report,
+        scheduler=scheduler, solver_budget=solver_budget,
+        solver_store=solver_store,
     )
     if check:
         from .regalloc import measure_register_usage
@@ -208,18 +213,24 @@ def compile_kernel(
     thr_unit_latency: bool = False,
     check: bool = False,
     options: PassOptions | None = None,
+    scheduler: str = "list",
+    solver_budget: int | None = None,
+    solver_store=None,
 ) -> CompiledKernel:
     """Lower, classically optimize, ILP-transform, and schedule a kernel.
 
     ``check=True`` turns on the between-pass invariant verifier for every
     stage (the CLI ``--check`` flag); ``options`` carries pass disabling
-    and IR printing controls (``--disable-pass``, ``--print-after``).
+    and IR printing controls (``--disable-pass``, ``--print-after``);
+    ``scheduler`` selects the schedule backend (``"list"``/``"optimal"``).
     """
     tk = ilp_transform(
         lower_conv(kernel, options=options), level, machine, unroll_factor,
         thr_unit_latency=thr_unit_latency, check=check, options=options,
     )
-    return schedule_kernel(tk, machine, check=check, options=options)
+    return schedule_kernel(tk, machine, check=check, options=options,
+                           scheduler=scheduler, solver_budget=solver_budget,
+                           solver_store=solver_store)
 
 
 @dataclass

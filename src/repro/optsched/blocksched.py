@@ -1,0 +1,198 @@
+"""Provably optimal acyclic block scheduling (the ``optimal`` backend).
+
+Wraps the solver core around one linear region: build the dependence DAG
+exactly as list scheduling does, seed the solver's incumbent with the
+heuristic schedule, and search below it.  Three outcomes:
+
+* ``optimal`` — the search closed: either the heuristic already sat on a
+  provable lower bound (no search needed), or every shorter length was
+  proven infeasible, or a strictly shorter schedule was found (and that
+  length proven minimal);
+* ``timeout-incumbent`` — the deterministic node budget ran out; the
+  incumbent (heuristic or best-found) is returned with
+  ``optimal=False``.  The tie-break in
+  :class:`~repro.optsched.solver.Incumbent` makes this path bit-stable
+  across runs;
+* ``too-large`` — the region exceeds the exact-search size cap.
+
+Emission order is the part that makes the result a drop-in
+:class:`~repro.schedule.listsched.Schedule`: within a cycle,
+instructions are emitted in original program order with the control
+instruction last.  Every 0-weight edge of the DAG points forward in
+original order (``depgraph.add_edge`` asserts it) and a branch never has
+a 0-weight edge to a later instruction, so this order satisfies every
+same-cycle ordering constraint and reproduces the simulator's
+branch-terminates-packet semantics.  Because the emitted order admits
+the solver's issue times as a legal packing, the simulator's greedy
+in-order issue can only do better: dynamic cycles <= solver makespan.
+
+When the solver does not strictly beat the heuristic, the heuristic
+:class:`Schedule` object is returned *unchanged* — byte-identical
+instruction order — so flipping ``--scheduler`` perturbs nothing unless
+there is real headroom.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..analysis.depgraph import DepGraph, build_depgraph
+from ..ir.instructions import Instr
+from ..ir.operands import Reg
+from ..machine import MachineConfig
+from ..schedule.listsched import Schedule, list_schedule
+from .solver import (
+    DEFAULT_BUDGET,
+    SchedProblem,
+    minimize_makespan,
+    verify_assignment,
+)
+
+
+@dataclass
+class OptResult:
+    """One region's exact-scheduling outcome (schedule + proof record)."""
+
+    schedule: Schedule
+    #: "optimal" | "timeout-incumbent" | "too-large"
+    status: str
+    optimal: bool
+    proved_lb: int
+    heuristic_makespan: int
+    optimal_makespan: int
+    nodes: int
+    seconds: float
+    cached: bool = False
+
+    @property
+    def improved(self) -> bool:
+        return self.optimal_makespan < self.heuristic_makespan
+
+    def as_payload(self) -> dict:
+        """JSON record for reports and the solver cache (no schedule)."""
+        return {
+            "status": self.status,
+            "optimal": self.optimal,
+            "proved_lb": self.proved_lb,
+            "heuristic_makespan": self.heuristic_makespan,
+            "optimal_makespan": self.optimal_makespan,
+            "nodes": self.nodes,
+            "seconds": self.seconds,
+            "cached": self.cached,
+        }
+
+
+def problem_from_depgraph(
+    g: DepGraph,
+    machine: MachineConfig,
+    period: int | None = None,
+    extra_edges: tuple[tuple[int, int, int], ...] = (),
+) -> SchedProblem:
+    """Translate a dependence DAG (plus optional cross-iteration edges)
+    into a solver instance under ``machine``'s resource model."""
+    n = g.n()
+    limited = {k.name for k, _ in machine.slot_limits.items()}
+    edges = tuple(
+        (i, j, w) for i in range(n) for j, w in g.succs[i]
+    ) + tuple(extra_edges)
+    return SchedProblem(
+        latency=tuple(g.latency),
+        is_branch=tuple(ins.is_control for ins in g.instrs),
+        kind=tuple(
+            ins.kind.name if ins.kind.name in limited else ""
+            for ins in g.instrs
+        ),
+        edges=edges,
+        width=machine.issue_width,
+        branch_slots=machine.branch_slots,
+        slot_limits=tuple(sorted(
+            (k.name, v) for k, v in machine.slot_limits.items()
+        )),
+        period=period,
+    )
+
+
+def emit_order(
+    instrs: list[Instr],
+    assignment,
+    machine: MachineConfig,
+) -> Schedule:
+    """Materialize a cycle assignment as a :class:`Schedule`.
+
+    Sort key (cycle, is-control, original index): program order within a
+    cycle preserves every 0-weight (same-cycle) dependence, and the
+    control instruction closes its packet.
+    """
+    keyed = sorted(
+        range(len(instrs)),
+        key=lambda i: (assignment[i], instrs[i].is_control, i),
+    )
+    return Schedule(
+        [instrs[i] for i in keyed],
+        [assignment[i] for i in keyed],
+        machine,
+    )
+
+
+def optimal_block_schedule(
+    instrs: list[Instr],
+    machine: MachineConfig,
+    exit_live: dict[int, set[Reg]] | None = None,
+    depgraph: DepGraph | None = None,
+    prologue: list[Instr] | None = None,
+    doall: bool = False,
+    budget: int = DEFAULT_BUDGET,
+    store=None,
+) -> OptResult:
+    """Exactly schedule one region, heuristic fallback under timeout.
+
+    Same signature surface as
+    :func:`~repro.schedule.listsched.list_schedule` plus the solver
+    budget and an optional :class:`~repro.service.store.ArtifactStore`
+    for fleet-wide solver-result caching (see
+    :mod:`repro.optsched.cache`).
+    """
+    t0 = time.perf_counter()
+    n = len(instrs)
+    g = depgraph or build_depgraph(
+        instrs, machine, exit_live, prologue=prologue, doall=doall
+    )
+    heuristic = list_schedule(instrs, machine, exit_live, depgraph=g)
+    if n <= 1:
+        # nothing to order: the heuristic is trivially optimal
+        return OptResult(heuristic, "optimal", True, heuristic.makespan,
+                         heuristic.makespan, heuristic.makespan, 0,
+                         time.perf_counter() - t0)
+
+    problem = problem_from_depgraph(g, machine)
+    pos = {id(ins): k for k, ins in enumerate(instrs)}
+    ub_assignment = [0] * n
+    for ins, t in zip(heuristic.order, heuristic.issue):
+        ub_assignment[pos[id(ins)]] = t
+    ub_cost = heuristic.makespan
+
+    if store is not None:
+        from .cache import cached_minimize
+
+        outcome, cached = cached_minimize(
+            store, problem, ub_cost, tuple(ub_assignment), budget
+        )
+    else:
+        outcome = minimize_makespan(
+            problem, ub_cost, tuple(ub_assignment), budget=budget
+        )
+        cached = False
+
+    if outcome.assignment is not None and outcome.cost < ub_cost:
+        verify_assignment(problem, outcome.assignment)
+        schedule = emit_order(instrs, outcome.assignment, machine)
+        assert schedule.makespan == outcome.cost
+    else:
+        # not improved (or timed out): keep the heuristic order verbatim
+        schedule = heuristic
+    return OptResult(
+        schedule, outcome.status, outcome.optimal, outcome.proved_lb,
+        ub_cost, schedule.makespan, outcome.nodes,
+        time.perf_counter() - t0, cached=cached,
+    )

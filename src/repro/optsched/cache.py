@@ -1,0 +1,109 @@
+"""Content-addressed caching of solver results.
+
+Exact scheduling is the expensive step of the ``optimal`` backend, and
+its inputs are tiny and fully canonical: the
+:meth:`~repro.optsched.solver.SchedProblem.canonical` form plus the
+deterministic node budget *is* the computation's identity.  Keys are
+SHA-256 over that identity together with :data:`SOLVER_VERSION` and the
+repo-wide :data:`~repro.service.keys.CODE_VERSION` salt, so
+
+* two blocks with the same dependence structure under the same machine
+  share one solver call, across loops, processes, and nodes (the store
+  is the same content-addressed
+  :class:`~repro.service.store.ArtifactStore` the compilation service
+  shards fleet-wide — each (loop, machine, II) instance is solved once);
+* any change to solver behavior (version bump) or to compiled-output
+  semantics (salt bump) orphans every stored result at once.
+
+Because the solver is deterministic under its node budget, a cache hit
+is byte-equivalent to recomputing — the store's contract.  Budgets are
+part of the key: a result computed under a small budget must not answer
+a large-budget query.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..service.keys import CODE_VERSION, canonical_json
+from .solver import SchedProblem, SolveOutcome, minimize_makespan
+
+#: bump when solver behavior changes (search order, propagation, bounds)
+SOLVER_VERSION = 1
+
+
+def problem_key(problem: SchedProblem, budget: int, mode: str = "min",
+                extra: dict | None = None) -> str:
+    """Content address of one solver computation."""
+    payload = {
+        "salt": CODE_VERSION,
+        "solver": SOLVER_VERSION,
+        "mode": mode,
+        "budget": int(budget),
+        "problem": problem.canonical(),
+    }
+    if extra:
+        payload["extra"] = extra
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def cached_minimize(
+    store,
+    problem: SchedProblem,
+    ub_cost: int,
+    ub_assignment: tuple[int, ...],
+    budget: int,
+) -> tuple[SolveOutcome, bool]:
+    """Makespan minimization through the store; returns (outcome, hit).
+
+    The heuristic upper bound is part of the key: the incumbent under
+    timeout *is* the heuristic seed, so results under different seeds
+    are different computations.
+    """
+    key = problem_key(problem, budget, "min", {"ub": int(ub_cost)})
+    payload = store.get(key)
+    if payload is not None:
+        return (
+            SolveOutcome(
+                None if payload["assignment"] is None
+                else tuple(payload["assignment"]),
+                payload["cost"], payload["optimal"], payload["proved_lb"],
+                payload["nodes"], payload["status"],
+            ),
+            True,
+        )
+    outcome = minimize_makespan(problem, ub_cost, ub_assignment,
+                                budget=budget)
+    store.put(key, {
+        "assignment": None if outcome.assignment is None
+        else list(outcome.assignment),
+        "cost": outcome.cost,
+        "optimal": outcome.optimal,
+        "proved_lb": outcome.proved_lb,
+        "nodes": outcome.nodes,
+        "status": outcome.status,
+    })
+    return outcome, False
+
+
+def cached_modulo(store, inst, ub: int, mii: int,
+                  budget: int) -> tuple[dict, bool]:
+    """II search through the store; returns (payload, hit).
+
+    Keyed by the II-independent instance (intra-iteration problem +
+    cross-iteration edges) plus the search's bounds and budget.
+    """
+    from .modulo import _problem_at_ii, search_ii
+
+    base = _problem_at_ii(inst, max(mii, 1))
+    key = problem_key(base, budget, "modulo", {
+        "cross": sorted(list(c) for c in inst.cross),
+        "ub": int(ub),
+        "mii": int(mii),
+    })
+    payload = store.get(key)
+    if payload is not None:
+        return payload, True
+    payload = search_ii(inst, ub, mii, budget)
+    store.put(key, payload)
+    return payload, False

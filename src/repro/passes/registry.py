@@ -270,19 +270,17 @@ CLEANUP_PASSES = (
 # ---------------------------------------------------------------------------
 
 
-def _run_listsched(ctx: PipelineContext) -> int:
-    """List-schedule every block of the function in place.
+def _schedule_inputs(ctx: PipelineContext):
+    """Per-block scheduling inputs shared by both backends.
 
     Side-exit speculation limits come from the live-in sets of branch
     targets.  For the superblock body, memory disambiguation sees the
     preheader and, for DOALL loops, the cross-iteration independence
-    assertion.
+    assertion.  Yields ``(block, exit_live, prologue, doall)``.
     """
     func, sb = ctx.func, ctx.sb
     lv = liveness(func, ctx.live_out_exit)
     regions = prologue_regions(func, sb) if sb is not None else None
-    schedules = {}
-    scheduled = 0
     for blk in func.blocks:
         if not blk.instrs:
             continue
@@ -291,12 +289,22 @@ def _run_listsched(ctx: PipelineContext) -> int:
             if ins.is_control and ins.target is not None:
                 exit_live[i] = lv.live_in.get(ins.target.name, set())
         is_body = sb is not None and blk is sb.body
-        sched = list_schedule(
-            blk.instrs,
-            ctx.machine,
+        yield (
+            blk,
             exit_live,
-            prologue=regions if is_body else None,
-            doall=ctx.doall and is_body,
+            regions if is_body else None,
+            ctx.doall and is_body,
+        )
+
+
+def _run_listsched(ctx: PipelineContext) -> int:
+    """List-schedule every block of the function in place."""
+    schedules = {}
+    scheduled = 0
+    for blk, exit_live, prologue, doall in _schedule_inputs(ctx):
+        sched = list_schedule(
+            blk.instrs, ctx.machine, exit_live,
+            prologue=prologue, doall=doall,
         )
         blk.instrs = sched.order
         schedules[blk.label] = sched
@@ -305,10 +313,44 @@ def _run_listsched(ctx: PipelineContext) -> int:
     return scheduled
 
 
+def _run_optsched(ctx: PipelineContext) -> int:
+    """Exactly schedule every block (``--scheduler optimal``).
+
+    Same per-block inputs as the heuristic backend; each block's proof
+    record lands in ``ctx.report.optsched`` keyed by block label.  Blocks
+    the solver cannot improve (or cannot close under budget) keep the
+    heuristic order verbatim.
+    """
+    from ..optsched import DEFAULT_BUDGET, optimal_block_schedule
+
+    budget = ctx.solver_budget if ctx.solver_budget else DEFAULT_BUDGET
+    schedules = {}
+    scheduled = 0
+    for blk, exit_live, prologue, doall in _schedule_inputs(ctx):
+        res = optimal_block_schedule(
+            blk.instrs, ctx.machine, exit_live,
+            prologue=prologue, doall=doall,
+            budget=budget, store=ctx.solver_store,
+        )
+        blk.instrs = res.schedule.order
+        schedules[blk.label] = res.schedule
+        ctx.report.optsched[blk.label] = res.as_payload()
+        scheduled += len(res.schedule.order)
+    ctx.schedules = schedules
+    return scheduled
+
+
+def _scheduler_is(which: str):
+    return lambda ctx: (ctx.scheduler or "list") == which
+
+
 SCHEDULE_PASSES = (
     Pass("listsched", "schedule", _run_listsched, required=True,
-         stage="list scheduling",
+         stage="list scheduling", profitable=_scheduler_is("list"),
          doc="greedy cycle-by-cycle list scheduling under the machine model"),
+    Pass("optsched", "schedule", _run_optsched, required=True,
+         stage="optimal scheduling", profitable=_scheduler_is("optimal"),
+         doc="exact branch-and-bound scheduling with proof of optimality"),
 )
 
 

@@ -171,17 +171,23 @@ def schedule_function(
     check: bool = False,
     options=None,
     report=None,
+    scheduler: str = "list",
+    solver_budget: int | None = None,
+    solver_store=None,
 ) -> dict[str, Schedule]:
-    """List-schedule every block of ``func`` in place.
+    """Schedule every block of ``func`` in place.
 
-    Runs the registered ``schedule`` phase of the pass manager.
-    Side-exit speculation limits come from the live-in sets of branch
-    targets.  For the superblock body (``sb``), memory disambiguation sees
-    the preheader and, for DOALL loops, the cross-iteration independence
-    assertion.  Returns the per-block schedules (keyed by label).  With
-    ``check=True`` the invariant verifier runs on the scheduled function —
-    a scheduler that reorders a use above its flow-dependent definition is
-    caught here.
+    Runs the registered ``schedule`` phase of the pass manager, which
+    dispatches on ``scheduler``: ``"list"`` (greedy heuristic, the
+    default) or ``"optimal"`` (exact solver-backed, with
+    ``solver_budget`` deterministic search nodes and optional
+    ``solver_store`` result caching).  Side-exit speculation limits come
+    from the live-in sets of branch targets.  For the superblock body
+    (``sb``), memory disambiguation sees the preheader and, for DOALL
+    loops, the cross-iteration independence assertion.  Returns the
+    per-block schedules (keyed by label).  With ``check=True`` the
+    invariant verifier runs on the scheduled function — a scheduler that
+    reorders a use above its flow-dependent definition is caught here.
     """
     from .passes import PassManager, PipelineContext, PipelineReport
 
@@ -192,6 +198,9 @@ def schedule_function(
         live_out_exit=live_out_exit or set(),
         sb=sb,
         doall=doall,
+        scheduler=scheduler,
+        solver_budget=solver_budget,
+        solver_store=solver_store,
     )
     PassManager(options, check=check).run_phase("schedule", ctx)
     return ctx.schedules

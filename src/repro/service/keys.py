@@ -85,16 +85,23 @@ def request_identity(
     check_ir: bool = False,
     disable: tuple[str, ...] = (),
     machine: MachineConfig | None = None,
+    schedule_backend: str = "list",
 ) -> dict:
     """The canonical identity dict of one request, defaults filled in.
 
     ``disable`` is deduplicated and sorted (PassOptions semantics: the
     disable *set* is what matters).  ``machine`` defaults to the paper
     machine at ``width``; passing an explicit config must agree with
-    ``width``.
+    ``width``.  ``schedule_backend`` ("list" or "optimal") is always
+    materialized so heuristic and exact-scheduled artifacts never share
+    a key.
     """
     if kind not in KINDS:
         raise ValueError(f"unknown request kind {kind!r} (known: {KINDS})")
+    if schedule_backend not in ("list", "optimal"):
+        raise ValueError(
+            f"unknown schedule backend {schedule_backend!r}"
+        )
     if machine is None:
         machine = MachineConfig(issue_width=int(width))
     elif machine.issue_width != int(width):
@@ -111,6 +118,7 @@ def request_identity(
         "check_ir": bool(check_ir),
         "disable": sorted(set(disable)),
         "machine": to_description(machine),
+        "schedule_backend": str(schedule_backend),
     }
 
 
@@ -125,6 +133,7 @@ def request_key(
     check_ir: bool = False,
     disable: tuple[str, ...] = (),
     machine: MachineConfig | None = None,
+    schedule_backend: str = "list",
     fingerprint: str | None = None,
 ) -> str:
     """Content address of a request's result: SHA-256 hex digest over the
@@ -137,6 +146,7 @@ def request_key(
     ident = request_identity(
         kind, workload, level, width, seed=seed, check=check,
         check_ir=check_ir, disable=disable, machine=machine,
+        schedule_backend=schedule_backend,
     )
     if fingerprint is None:
         fingerprint = workload_fingerprint(workload)
@@ -145,15 +155,16 @@ def request_key(
 
 
 def sweep_header(
-    seed: int, check: bool, check_ir: bool = False, disable: tuple[str, ...] = ()
+    seed: int, check: bool, check_ir: bool = False,
+    disable: tuple[str, ...] = (), schedule_backend: str = "list",
 ) -> dict:
     """The sweep-journal header: the grid-wide half of the identity.
 
     A journal line is keyed by (workload, level, width); everything else
     a :func:`request_identity` contains — seed, check flags, disable
-    set, code version — lives here, so header equality plus grid key
-    equality is exactly request-identity equality (the journal always
-    uses the default paper machine per width).
+    set, schedule backend, code version — lives here, so header equality
+    plus grid key equality is exactly request-identity equality (the
+    journal always uses the default paper machine per width).
     """
     return {
         "salt": CODE_VERSION,
@@ -161,4 +172,5 @@ def sweep_header(
         "check": bool(check),
         "check_ir": bool(check_ir),
         "disable": sorted(set(disable)),
+        "schedule_backend": str(schedule_backend),
     }

@@ -94,7 +94,8 @@ class TestRequestKeyStability:
         with a default later cannot silently alias old and new keys."""
         ident = request_identity("run", "dotprod", 4, 8)
         assert set(ident) == {"kind", "workload", "level", "width", "seed",
-                              "check", "check_ir", "disable", "machine"}
+                              "check", "check_ir", "disable", "machine",
+                              "schedule_backend"}
         assert set(ident["machine"]) == {
             "issue_width", "branch_slots", "latencies", "slot_limits",
             "speculative_loads", "speculative_fp", "vector_lanes",
